@@ -1,0 +1,286 @@
+//! A `printf`-style fixed-format printer using limited-precision
+//! arithmetic — the classic technique behind the incorrectly rounded
+//! C-library conversions counted in the paper's Table 3.
+//!
+//! The 1996 evaluation found between 0 and 6280 of the 250,680 test numbers
+//! printed with incorrect rounding by the vendor `printf`s of the day. Those
+//! implementations scaled the value by a *rounded* table of powers of ten in
+//! extended (64-bit-mantissa) precision; every table entry and the final
+//! scaling each round once, and the accumulated error occasionally flips the
+//! last digit(s). This module reproduces that technique — a 64-bit
+//! fixed-point significand multiplied by a 64-bit-rounded `10ⁿ` table — so
+//! the benchmark can report both its speed (no big-integer work at all) and
+//! its error count against the exact baseline.
+
+use fpp_float::{Decoded, FloatFormat};
+use std::sync::OnceLock;
+
+/// Digit data from the naive conversion: `0.d₁…d_count × 10ᵏ`, possibly
+/// incorrectly rounded in the final digit(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveDigits {
+    /// Base-10 digit values, most significant first.
+    pub digits: Vec<u8>,
+    /// Scale factor.
+    pub k: i32,
+}
+
+/// `10ⁿ ≈ mantissa × 2^exponent` with `2⁶³ ≤ mantissa < 2⁶⁴`, built by
+/// repeated multiplication/division by ten with round-half-up at each step —
+/// exactly how period printf implementations filled their tables, and the
+/// source of their occasional mis-roundings.
+#[derive(Debug, Clone, Copy)]
+struct Pow10 {
+    mantissa: u64,
+    exponent: i32,
+}
+
+const POW10_MIN: i32 = -400;
+const POW10_MAX: i32 = 400;
+
+fn pow10_table() -> &'static Vec<Pow10> {
+    static TABLE: OnceLock<Vec<Pow10>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = vec![
+            Pow10 {
+                mantissa: 0,
+                exponent: 0
+            };
+            (POW10_MAX - POW10_MIN + 1) as usize
+        ];
+        let one = Pow10 {
+            mantissa: 1 << 63,
+            exponent: -63,
+        };
+        table[(-POW10_MIN) as usize] = one;
+        // Positive powers: multiply by 10, renormalize with rounding.
+        let mut cur = one;
+        for n in 1..=POW10_MAX {
+            let wide = cur.mantissa as u128 * 10;
+            let bits = 128 - wide.leading_zeros() as i32;
+            let shift = bits - 64;
+            let rounded = (wide + (1u128 << (shift - 1))) >> shift;
+            let (m, extra) = if rounded >> 64 != 0 {
+                ((rounded >> 1) as u64, 1)
+            } else {
+                (rounded as u64, 0)
+            };
+            cur = Pow10 {
+                mantissa: m,
+                exponent: cur.exponent + shift + extra,
+            };
+            table[(n - POW10_MIN) as usize] = cur;
+        }
+        // Negative powers: divide by 10 at double width, renormalize.
+        let mut cur = one;
+        for n in (POW10_MIN..0).rev() {
+            let wide = ((cur.mantissa as u128) << 64) / 10; // ~2^123.7
+            let bits = 128 - wide.leading_zeros() as i32;
+            let shift = bits - 64;
+            let rounded = (wide + (1u128 << (shift - 1))) >> shift;
+            let (m, extra) = if rounded >> 64 != 0 {
+                ((rounded >> 1) as u64, 1)
+            } else {
+                (rounded as u64, 0)
+            };
+            cur = Pow10 {
+                mantissa: m,
+                exponent: cur.exponent - 64 + shift + extra,
+            };
+            table[(n - POW10_MIN) as usize] = cur;
+        }
+        table
+    })
+}
+
+fn pow10(n: i32) -> Pow10 {
+    debug_assert!((POW10_MIN..=POW10_MAX).contains(&n));
+    pow10_table()[(n - POW10_MIN) as usize]
+}
+
+/// Converts a positive finite `f64` to `count` (1–19) significant decimal
+/// digits using 64-bit fixed-point arithmetic and a rounded power table.
+///
+/// Fast and *approximately* rounded: the overwhelming majority of outputs
+/// match the exact conversion, but a measurable fraction do not (that is the
+/// point — see the module docs). Returns `None` for non-positive or
+/// non-finite input.
+///
+/// ```
+/// use fpp_baseline::naive_printf::naive_digits;
+/// let d = naive_digits(0.5, 3).unwrap();
+/// assert_eq!((d.digits.as_slice(), d.k), ([5u8, 0, 0].as_slice(), 0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `count` is outside `1..=19`.
+#[must_use]
+pub fn naive_digits(v: f64, count: u32) -> Option<NaiveDigits> {
+    assert!((1..=19).contains(&count), "count must be in 1..=19");
+    let (mantissa, exponent) = match v.decode() {
+        Decoded::Finite {
+            negative: false,
+            mantissa,
+            exponent,
+        } => (mantissa, exponent),
+        _ => return None,
+    };
+
+    // Normalize the significand to 64 bits: v = m × 2^e2, 2^63 ≤ m < 2^64.
+    let shift = mantissa.leading_zeros();
+    let m = mantissa << shift;
+    let e2 = exponent - shift as i32;
+
+    // First-guess decimal position of the leading digit.
+    const LOG10_2: f64 = std::f64::consts::LOG10_2;
+    let mut k = (((e2 + 64) as f64) * LOG10_2).ceil() as i32;
+    // Scale so that D = v·10^(count−k) is a count-digit integer; the guess
+    // can be off by one, detected from D's magnitude.
+    let limit_hi = 10u64.pow(count);
+    let limit_lo = limit_hi / 10;
+    for _attempt in 0..3 {
+        let p = pow10(count as i32 - k);
+        let prod = m as u128 * p.mantissa as u128; // 127–128 bits, exact
+        let sh = -(e2 + p.exponent); // bits of fraction in `prod`
+        if !(1..=127).contains(&sh) {
+            // Estimate grossly off (cannot happen for finite doubles).
+            return None;
+        }
+        let integer = (prod >> sh) as u64;
+        let frac = prod & ((1u128 << sh) - 1);
+        let mut d = integer;
+        if frac >= 1u128 << (sh - 1) {
+            d += 1;
+        }
+        if d >= limit_hi {
+            // One digit too many (or rounding carried past the limit).
+            if d.is_multiple_of(10) && d / 10 < limit_hi {
+                return Some(pack(d / 10, count, k + 1));
+            }
+            k += 1;
+            continue;
+        }
+        if d < limit_lo {
+            k -= 1;
+            continue;
+        }
+        return Some(pack(d, count, k));
+    }
+    None
+}
+
+fn pack(mut d: u64, count: u32, k: i32) -> NaiveDigits {
+    let mut digits = vec![0u8; count as usize];
+    for slot in digits.iter_mut().rev() {
+        *slot = (d % 10) as u8;
+        d /= 10;
+    }
+    debug_assert_eq!(d, 0);
+    NaiveDigits { digits, k }
+}
+
+/// Formats a positive finite `f64` to 17 significant digits with the naive
+/// technique, in the default notation (Table 3's `printf` stand-in).
+#[must_use]
+pub fn print_naive_printf(v: f64) -> Option<String> {
+    let d = naive_digits(v, 17)?;
+    let digits = fpp_core::Digits {
+        digits: d.digits,
+        k: d.k,
+    };
+    Some(fpp_core::render(&digits, fpp_core::Notation::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_fixed::simple_fixed_digits;
+    use fpp_bignum::PowerTable;
+    use fpp_float::SoftFloat;
+
+    #[test]
+    fn exact_small_values_are_correct() {
+        let d = naive_digits(2.0, 5).unwrap();
+        assert_eq!((d.digits.as_slice(), d.k), ([2, 0, 0, 0, 0].as_slice(), 1));
+        let d = naive_digits(0.5, 2).unwrap();
+        assert_eq!((d.digits.as_slice(), d.k), ([5, 0].as_slice(), 0));
+        let d = naive_digits(1234.0, 4).unwrap();
+        assert_eq!((d.digits.as_slice(), d.k), ([1, 2, 3, 4].as_slice(), 4));
+    }
+
+    #[test]
+    fn carry_propagates_through_nines() {
+        let d = naive_digits(0.999999999, 3).unwrap();
+        assert_eq!((d.digits.as_slice(), d.k), ([1, 0, 0].as_slice(), 1));
+    }
+
+    #[test]
+    fn extreme_magnitudes_do_not_hang_or_panic() {
+        for v in [f64::MAX, f64::MIN_POSITIVE, f64::from_bits(1), 1e308, 1e-308] {
+            let d = naive_digits(v, 17).unwrap();
+            assert_eq!(d.digits.len(), 17);
+            assert!(d.digits[0] >= 1);
+        }
+    }
+
+    #[test]
+    fn mostly_correct_at_17_digits() {
+        // Sweep a deterministic pseudo-random set and count 17-digit
+        // mismatches against the exact baseline. The paper's Table 3 found
+        // 0–6280 of 250,680 (≈0–2.5%) wrong per platform; this technique
+        // lands in the same regime: mostly right, not perfect.
+        let mut powers = PowerTable::new(10);
+        let mut wrong = 0u32;
+        let mut total = 0u32;
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        while total < 5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = f64::from_bits(state & 0x7FFF_FFFF_FFFF_FFFF);
+            if !v.is_finite() || v == 0.0 {
+                continue;
+            }
+            total += 1;
+            let naive = naive_digits(v, 17).unwrap();
+            let sf = SoftFloat::from_f64(v).unwrap();
+            let (exact, k) = simple_fixed_digits(&sf, 17, &mut powers);
+            if naive.digits != exact || naive.k != k {
+                wrong += 1;
+            }
+        }
+        let rate = f64::from(wrong) / f64::from(total);
+        assert!(
+            rate < 0.05,
+            "naive printf should be mostly correct: {wrong}/{total}"
+        );
+    }
+
+    #[test]
+    fn sometimes_incorrect_at_17_digits() {
+        // The error must also be non-zero over a large deterministic sweep —
+        // otherwise it would not be the Table 3 printf.
+        let mut powers = PowerTable::new(10);
+        let mut wrong = 0u32;
+        let mut state: u64 = 42;
+        let mut total = 0;
+        while total < 20_000 && wrong == 0 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = f64::from_bits(state & 0x7FFF_FFFF_FFFF_FFFF);
+            if !v.is_finite() || v == 0.0 {
+                continue;
+            }
+            total += 1;
+            let naive = naive_digits(v, 17).unwrap();
+            let sf = SoftFloat::from_f64(v).unwrap();
+            let (exact, k) = simple_fixed_digits(&sf, 17, &mut powers);
+            if naive.digits != exact || naive.k != k {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 0, "no mis-rounding found in {total} samples");
+    }
+}

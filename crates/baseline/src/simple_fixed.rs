@@ -1,0 +1,286 @@
+//! The "straightforward fixed-format algorithm" of Table 3.
+//!
+//! The paper compares its free-format printer against a plain fixed-format
+//! printer producing 17 significant digits — the minimum guaranteed to
+//! distinguish IEEE doubles. That printer has no shortest-string search, no
+//! `#`-mark significance analysis, and no per-digit termination tests: it
+//! computes all requested digits at once with a single exact big-integer
+//! division, correctly rounded (round half to even, matching an accurate
+//! `printf`). This module is that baseline.
+
+use fpp_bignum::{Nat, PowerTable};
+use fpp_float::{Decoded, FloatFormat, SoftFloat};
+
+/// Fixed-format digits of a positive value: exactly `count` significant
+/// base-`B` digits, correctly rounded, with the leading digit's position.
+///
+/// Returns `(digits, k)` with the value reading `0.d₁…d_count × Bᵏ`.
+///
+/// ```
+/// use fpp_baseline::simple_fixed::simple_fixed_digits;
+/// use fpp_bignum::PowerTable;
+/// use fpp_float::SoftFloat;
+///
+/// let v = SoftFloat::from_f64(0.3).expect("positive finite");
+/// let mut powers = PowerTable::new(10);
+/// let (digits, k) = simple_fixed_digits(&v, 5, &mut powers);
+/// assert_eq!(digits, vec![3, 0, 0, 0, 0]);
+/// assert_eq!(k, 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+#[must_use]
+pub fn simple_fixed_digits(v: &SoftFloat, count: u32, powers: &mut PowerTable) -> (Vec<u8>, i32) {
+    assert!(count >= 1, "digit count must be >= 1");
+    let base = powers.base();
+    // v = f × b^e as an exact ratio num/den (b = 2 for hardware floats).
+    let b = v.base();
+    let e = v.exponent();
+    let (num0, den0) = if e >= 0 {
+        (v.mantissa() * &Nat::from(b).pow(e as u32), Nat::one())
+    } else {
+        (v.mantissa().clone(), Nat::from(b).pow(-e as u32))
+    };
+
+    let k = leading_position(v, powers);
+
+    // Generate the digits one at a time, exactly as a straightforward
+    // digit-serial printer does (and as the paper's baseline did): scale so
+    // v/Bᵏ ∈ [1/B, 1), then repeatedly multiply by B and take the integer
+    // part. Everything stays exact; only the *shortest-string* machinery of
+    // free format is absent.
+    let (mut r, s) = if k >= 0 {
+        (num0, powers.scale(&den0, k as u32))
+    } else {
+        (powers.scale(&num0, (-k) as u32), den0)
+    };
+    let mut digits = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        r.mul_u64(base);
+        let d = r.div_rem_in_place_u64(&s) as u8;
+        digits.push(d);
+    }
+    // Round the final digit from the remainder, half to even, with carry.
+    let twice = r.mul_u64_ref(2);
+    let round_up = match twice.cmp(&s) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => digits.last().is_some_and(|&d| d % 2 == 1),
+    };
+    let mut k = k;
+    if round_up {
+        let mut i = digits.len();
+        loop {
+            if i == 0 {
+                // 999… carried out: value becomes 100… × B^(k+1).
+                digits.insert(0, 1);
+                digits.pop();
+                k += 1;
+                break;
+            }
+            i -= 1;
+            if digits[i] as u64 == base - 1 {
+                digits[i] = 0;
+            } else {
+                digits[i] += 1;
+                break;
+            }
+        }
+    }
+    (digits, k)
+}
+
+/// The position of the leading digit of `v` in base `powers.base()`: the
+/// unique `k` with `B^(k−1) ≤ v < B^k`, found from a logarithm estimate
+/// refined exactly.
+///
+/// ```
+/// use fpp_baseline::simple_fixed::leading_position;
+/// use fpp_bignum::PowerTable;
+/// use fpp_float::SoftFloat;
+/// let mut powers = PowerTable::new(10);
+/// let v = SoftFloat::from_f64(99.996).expect("positive finite");
+/// assert_eq!(leading_position(&v, &mut powers), 2);
+/// ```
+#[must_use]
+pub fn leading_position(v: &SoftFloat, powers: &mut PowerTable) -> i32 {
+    let base = powers.base();
+    let b = v.base();
+    let e = v.exponent();
+    let (num0, den0) = if e >= 0 {
+        (v.mantissa() * &Nat::from(b).pow(e as u32), Nat::one())
+    } else {
+        (v.mantissa().clone(), Nat::from(b).pow(-e as u32))
+    };
+    let log2_v = (v.mantissa().bit_len() as f64 - 1.0) + e as f64 * (b as f64).log2();
+    let mut k = (log2_v / (base as f64).log2()).ceil() as i32;
+    loop {
+        if cmp_scaled(&num0, &den0, powers, k) >= 0 {
+            k += 1;
+            continue;
+        }
+        if cmp_scaled(&num0, &den0, powers, k - 1) < 0 {
+            k -= 1;
+            continue;
+        }
+        break;
+    }
+    k
+}
+
+/// Sign of `num/den − B^k` (−1, 0, +1), with a bit-length screen that
+/// resolves all but near-boundary cases without a big multiplication.
+fn cmp_scaled(num: &Nat, den: &Nat, powers: &mut PowerTable, k: i32) -> i32 {
+    let (lhs, rhs_a, rhs_b) = if k >= 0 {
+        (num, den, powers.pow(k as u32))
+    } else {
+        (den, num, powers.pow((-k) as u32))
+    };
+    let sign = if k >= 0 { 1 } else { -1 };
+    // rhs = rhs_a · rhs_b has bit length in [la+lb−1, la+lb].
+    let ln = lhs.bit_len();
+    let lr = rhs_a.bit_len() + rhs_b.bit_len();
+    if ln + 1 < lr {
+        return -sign; // lhs < 2^ln ≤ 2^(lr−2) ≤ rhs
+    }
+    if ln > lr {
+        return sign; // lhs ≥ 2^(ln−1) ≥ 2^lr > rhs
+    }
+    let rhs = rhs_a * rhs_b;
+    match lhs.cmp(&rhs) {
+        std::cmp::Ordering::Less => -sign,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => sign,
+    }
+}
+
+/// Formats a positive finite `f64` to 17 significant digits (Table 3's
+/// setting) in the default notation. Returns `None` for values the
+/// evaluation excludes (non-positive or non-finite).
+#[must_use]
+pub fn print_simple_fixed(v: f64) -> Option<String> {
+    print_simple_fixed_digits(v, 17)
+}
+
+/// Formats a positive finite `f64` to `count` significant digits.
+#[must_use]
+pub fn print_simple_fixed_digits(v: f64, count: u32) -> Option<String> {
+    if !matches!(v.decode(), Decoded::Finite { negative: false, .. }) {
+        return None;
+    }
+    let sf = SoftFloat::from_f64(v)?;
+    let mut powers = PowerTable::new(10);
+    let (digits, k) = simple_fixed_digits(&sf, count, &mut powers);
+    let d = fpp_core::Digits { digits, k };
+    Some(fpp_core::render(&d, fpp_core::Notation::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digits17(v: f64) -> (String, i32) {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let mut powers = PowerTable::new(10);
+        let (d, k) = simple_fixed_digits(&sf, 17, &mut powers);
+        (d.iter().map(|&x| (b'0' + x) as char).collect(), k)
+    }
+
+    #[test]
+    fn seventeen_digit_expansions() {
+        // 0.1 exactly = 0.1000000000000000055511…: the 17-digit rounding
+        // carries a final 1 (this is what printf %.16e prints).
+        let (s, k) = digits17(0.1);
+        assert_eq!((s.as_str(), k), ("10000000000000001", 0));
+        let (s, k) = digits17(1.0 / 3.0);
+        assert_eq!((s.as_str(), k), ("33333333333333331", 0));
+        let (s, k) = digits17(1e23);
+        assert_eq!((s.as_str(), k), ("99999999999999992", 23));
+    }
+
+    #[test]
+    fn short_counts_round_correctly() {
+        let sf = SoftFloat::from_f64(2.5).unwrap();
+        let mut powers = PowerTable::new(10);
+        // Exactly 2.5 to one digit: round half to even → 2.
+        let (d, k) = simple_fixed_digits(&sf, 1, &mut powers);
+        assert_eq!((d, k), (vec![2], 1));
+        let sf = SoftFloat::from_f64(3.5).unwrap();
+        let (d, k) = simple_fixed_digits(&sf, 1, &mut powers);
+        assert_eq!((d, k), (vec![4], 1));
+        // 9.96 to two digits carries to 10.
+        let sf = SoftFloat::from_f64(9.96).unwrap();
+        let (d, k) = simple_fixed_digits(&sf, 2, &mut powers);
+        assert_eq!((d, k), (vec![1, 0], 2));
+    }
+
+    #[test]
+    fn agrees_with_core_relative_mode_within_float_precision() {
+        // At 15 significant digits the requested precision is coarser than
+        // any double's own (half of 10^(k-15) always exceeds the half-ulp),
+        // so the core fixed format's expanded rounding range governs and
+        // both printers are "correctly rounded to 15 digits": they must
+        // agree exactly (ties broken to even on both sides).
+        let mut powers = PowerTable::new(10);
+        for v in [0.1, 1.0 / 3.0, 123.456, 2.0, 9.96, 1e300, 2.2250738585072014e-308] {
+            let sf = SoftFloat::from_f64(v).unwrap();
+            let (d, k) = simple_fixed_digits(&sf, 15, &mut powers);
+            let fd = fpp_core::fixed_format_digits_relative(
+                &sf,
+                15,
+                fpp_core::ScalingStrategy::Estimate,
+                fpp_core::TieBreak::Even,
+                &mut powers,
+            );
+            assert_eq!(fd.insignificant, 0, "{v}");
+            assert_eq!(fd.k, k, "{v}");
+            assert_eq!(d, fd.digits, "{v}");
+        }
+    }
+
+    #[test]
+    fn documents_divergence_from_core_beyond_float_precision() {
+        // §4's deliberate design choice: past the float's own precision the
+        // core algorithm emits information-preserving zeros (then # marks)
+        // rather than extrapolated "correctly rounded" digits. The
+        // straightforward baseline rounds the exact expansion instead, so
+        // at digit 17 of 1/3 they legitimately differ: baseline …31, core …30.
+        let mut powers = PowerTable::new(10);
+        let sf = SoftFloat::from_f64(1.0 / 3.0).unwrap();
+        let (d, _) = simple_fixed_digits(&sf, 17, &mut powers);
+        assert_eq!(d[16], 1);
+        let fd = fpp_core::fixed_format_digits_relative(
+            &sf,
+            17,
+            fpp_core::ScalingStrategy::Estimate,
+            fpp_core::TieBreak::Even,
+            &mut powers,
+        );
+        assert_eq!(fd.digits[16], 0);
+        // Both still read back as exactly 1/3's float (information kept).
+        let parse = |ds: &[u8], k: i32| -> f64 {
+            let s: String = ds.iter().map(|&x| (b'0' + x) as char).collect();
+            format!("0.{s}e{k}").parse().unwrap()
+        };
+        assert_eq!(parse(&d, 0), 1.0 / 3.0);
+        assert_eq!(parse(&fd.digits, 0), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn extremes() {
+        let (s, k) = digits17(f64::MAX);
+        assert_eq!((s.as_str(), k), ("17976931348623157", 309));
+        let (s, k) = digits17(f64::from_bits(1));
+        assert_eq!((s.as_str(), k), ("49406564584124654", -323));
+    }
+
+    #[test]
+    fn wrapper_excludes_non_measurable() {
+        assert!(print_simple_fixed(-1.0).is_none());
+        assert!(print_simple_fixed(f64::NAN).is_none());
+        assert!(print_simple_fixed(0.0).is_none());
+        assert!(print_simple_fixed(0.25).is_some());
+    }
+}

@@ -1,0 +1,222 @@
+//! Steele & White's original free-format conversion ("Dragon4", PLDI 1990).
+//!
+//! This is a deliberately *independent* implementation — structured after
+//! Figure 1 of the Burger–Dybvig paper, which reproduces Steele & White's
+//! algorithm: the `O(|log v|)` iterative scaling loop and a digit loop that
+//! multiplies `r` by `B` *before* each division (the "premultiply" shape),
+//! with both endpoints of the rounding range always excluded. It serves two
+//! purposes in the evaluation:
+//!
+//! 1. the iterative-scaling row of Table 2, and
+//! 2. a differential oracle: with `RoundingMode::Conservative` the optimized
+//!    `fpp-core` pipeline must produce identical digits.
+
+use fpp_bignum::Nat;
+use fpp_float::SoftFloat;
+
+/// Digits produced by the Steele–White algorithm: value `0.d₁…dₙ × Bᵏ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwDigits {
+    /// Base-`B` digit values, most significant first.
+    pub digits: Vec<u8>,
+    /// Scale factor.
+    pub k: i32,
+}
+
+/// Runs the Steele–White free-format conversion for a positive value.
+///
+/// Equivalent in output to `fpp-core`'s free format with
+/// `RoundingMode::Conservative` and upward tie-breaking, but asymptotically
+/// slower in its scaling phase.
+///
+/// ```
+/// use fpp_baseline::steele_white::steele_white_digits;
+/// use fpp_float::SoftFloat;
+///
+/// let v = SoftFloat::from_f64(0.3).expect("positive finite");
+/// let d = steele_white_digits(&v, 10);
+/// assert_eq!((d.digits.as_slice(), d.k), ([3u8].as_slice(), 0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `base` is outside `2..=36`.
+#[must_use]
+pub fn steele_white_digits(v: &SoftFloat, base: u64) -> SwDigits {
+    assert!((2..=36).contains(&base), "output base must be in 2..=36");
+    let b = v.base();
+    let f = v.mantissa();
+    let e = v.exponent();
+
+    // Fixup (Table 1 of Burger–Dybvig, which restates Steele & White's
+    // initialisation): v = r/s, half-gaps m± over the same denominator.
+    let (mut r, mut s, mut m_plus, mut m_minus);
+    let narrow = v.has_narrow_low_gap();
+    if e >= 0 {
+        let be = Nat::from(b).pow(e as u32);
+        if !narrow {
+            r = (f * &be).mul_u64_ref(2);
+            s = Nat::from(2u64);
+            m_plus = be.clone();
+            m_minus = be;
+        } else {
+            let be1 = be.mul_u64_ref(b);
+            r = (f * &be1).mul_u64_ref(2);
+            s = Nat::from(2 * b);
+            m_plus = be1;
+            m_minus = be;
+        }
+    } else if !narrow {
+        r = f.mul_u64_ref(2);
+        s = Nat::from(b).pow(-e as u32).mul_u64_ref(2);
+        m_plus = Nat::one();
+        m_minus = Nat::one();
+    } else {
+        r = f.mul_u64_ref(2 * b);
+        s = Nat::from(b).pow((1 - e) as u32).mul_u64_ref(2);
+        m_plus = Nat::from(b);
+        m_minus = Nat::one();
+    }
+
+    // Iterative scale (Figure 1's `scale`): one power of B at a time.
+    let mut k: i32 = 0;
+    loop {
+        if &r + &m_plus > s {
+            // k too low
+            s.mul_u64(base);
+            k += 1;
+        } else {
+            let r_b = r.mul_u64_ref(base);
+            let m_plus_b = m_plus.mul_u64_ref(base);
+            if &r_b + &m_plus_b <= s {
+                // k too high
+                r = r_b;
+                m_plus = m_plus_b;
+                m_minus.mul_u64(base);
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Generate (Figure 1's `generate`): premultiply by B, divide, test.
+    let mut digits = Vec::with_capacity(20);
+    loop {
+        r.mul_u64(base);
+        m_plus.mul_u64(base);
+        m_minus.mul_u64(base);
+        let d = r.div_rem_in_place_u64(&s) as u8;
+        let tc1 = r < m_minus;
+        let tc2 = &r + &m_plus > s;
+        match (tc1, tc2) {
+            (false, false) => digits.push(d),
+            (true, false) => {
+                digits.push(d);
+                break;
+            }
+            (false, true) => {
+                digits.push(d + 1);
+                break;
+            }
+            (true, true) => {
+                // Round to the closer; ties upward (Figure 1 behaviour).
+                let closer_up = r.mul_u64_ref(2) >= s;
+                digits.push(if closer_up { d + 1 } else { d });
+                break;
+            }
+        }
+    }
+    SwDigits { digits, k }
+}
+
+/// Formats a positive finite `f64` with the Steele–White algorithm in
+/// base-10 scientific-or-positional notation matching
+/// `fpp_core::Notation::default()`.
+///
+/// Returns `None` for NaN, infinities, zeros and negative values (the
+/// baseline, like the paper's evaluation, only measures positive finite
+/// conversions).
+#[must_use]
+pub fn print_steele_white(v: f64) -> Option<String> {
+    let sf = SoftFloat::from_f64(v)?;
+    let d = steele_white_digits(&sf, 10);
+    let digits = fpp_core::Digits {
+        digits: d.digits,
+        k: d.k,
+    };
+    Some(fpp_core::render(&digits, fpp_core::Notation::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpp_core::{free_format_digits, ScalingStrategy, TieBreak};
+    use fpp_float::RoundingMode;
+
+    #[test]
+    fn known_values() {
+        let cases: &[(f64, &[u8], i32)] = &[
+            (0.3, &[3], 0),
+            (1.0, &[1], 1),
+            (100.0, &[1], 3),
+            (0.1, &[1], 0),
+            (299792458.0, &[2, 9, 9, 7, 9, 2, 4, 5, 8], 9),
+        ];
+        for &(v, digits, k) in cases {
+            let d = steele_white_digits(&SoftFloat::from_f64(v).unwrap(), 10);
+            assert_eq!((d.digits.as_slice(), d.k), (digits, k), "{v}");
+        }
+    }
+
+    #[test]
+    fn no_rounding_mode_awareness() {
+        // Unlike Burger–Dybvig with unbiased rounding, Steele & White print
+        // 1e23 with all 16 digits.
+        let d = steele_white_digits(&SoftFloat::from_f64(1e23).unwrap(), 10);
+        assert_eq!(d.digits.len(), 16);
+        assert_eq!(d.k, 23);
+    }
+
+    #[test]
+    fn matches_conservative_burger_dybvig_on_samples() {
+        let mut powers = fpp_bignum::PowerTable::new(10);
+        for v in [
+            0.1,
+            0.2,
+            0.3,
+            1.5,
+            2.0,
+            1e10,
+            1e-10,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            f64::from_bits(0x0010_0000_0000_0001),
+            std::f64::consts::PI,
+            std::f64::consts::E,
+            1e23,
+            8.98846567431158e307,
+        ] {
+            let sf = SoftFloat::from_f64(v).unwrap();
+            let sw = steele_white_digits(&sf, 10);
+            let bd = free_format_digits(
+                &sf,
+                ScalingStrategy::Estimate,
+                RoundingMode::Conservative,
+                TieBreak::Up,
+                &mut powers,
+            );
+            assert_eq!((sw.digits, sw.k), (bd.digits, bd.k), "{v}");
+        }
+    }
+
+    #[test]
+    fn print_wrapper_handles_notation_and_specials() {
+        assert_eq!(print_steele_white(0.3).unwrap(), "0.3");
+        assert_eq!(print_steele_white(1e23).unwrap(), "9.999999999999999e22");
+        assert!(print_steele_white(f64::NAN).is_none());
+        assert!(print_steele_white(-1.0).is_none());
+        assert!(print_steele_white(0.0).is_none());
+    }
+}

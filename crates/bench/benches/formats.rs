@@ -1,0 +1,113 @@
+//! Criterion micro-benchmark behind Table 3: free format versus the
+//! straightforward 17-digit fixed format versus the naive printf stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpp_baseline::naive_printf::naive_digits;
+use fpp_baseline::simple_fixed::simple_fixed_digits;
+use fpp_bignum::PowerTable;
+use fpp_core::{free_format_digits, ScalingStrategy, TieBreak};
+use fpp_float::{RoundingMode, SoftFloat};
+use fpp_testgen::SchryerSet;
+use std::hint::black_box;
+
+fn sample(n: usize) -> (Vec<f64>, Vec<SoftFloat>) {
+    let all = SchryerSet::new().collect();
+    let step = (all.len() / n).max(1);
+    let raw: Vec<f64> = all.iter().copied().step_by(step).collect();
+    let soft = raw
+        .iter()
+        .map(|&v| SoftFloat::from_f64(v).expect("positive finite"))
+        .collect();
+    (raw, soft)
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let (raw, soft) = sample(512);
+    let mut group = c.benchmark_group("table3_formats");
+    group.throughput(Throughput::Elements(raw.len() as u64));
+
+    group.bench_function("free_format", |b| {
+        let mut powers = PowerTable::with_capacity(10, 350);
+        b.iter(|| {
+            for v in &soft {
+                black_box(free_format_digits(
+                    v,
+                    ScalingStrategy::Estimate,
+                    RoundingMode::NearestEven,
+                    TieBreak::Up,
+                    &mut powers,
+                ));
+            }
+        });
+    });
+
+    group.bench_function("fixed_17_digits", |b| {
+        let mut powers = PowerTable::with_capacity(10, 350);
+        b.iter(|| {
+            for v in &soft {
+                black_box(simple_fixed_digits(v, 17, &mut powers));
+            }
+        });
+    });
+
+    group.bench_function("fast_fixed_verified_17", |b| {
+        let mut powers = PowerTable::with_capacity(10, 350);
+        b.iter(|| {
+            for &v in &raw {
+                black_box(fpp_baseline::fast_fixed::fixed_fast_or_exact(v, 17, &mut powers));
+            }
+        });
+    });
+
+    group.bench_function("naive_printf_17", |b| {
+        b.iter(|| {
+            for &v in &raw {
+                black_box(naive_digits(v, 17));
+            }
+        });
+    });
+
+    // Context: Rust std's own shortest formatter on the same values.
+    group.bench_function("std_fmt_shortest", |b| {
+        b.iter(|| {
+            for &v in &raw {
+                black_box(format!("{v}"));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_fixed_format_with_marks(c: &mut Criterion) {
+    // The paper's own fixed-format algorithm (with # significance analysis)
+    // versus the straightforward baseline.
+    let (_, soft) = sample(256);
+    let mut group = c.benchmark_group("fixed_format_variants");
+    group.throughput(Throughput::Elements(soft.len() as u64));
+    group.bench_function("bd_fixed_relative_17", |b| {
+        let mut powers = PowerTable::with_capacity(10, 350);
+        b.iter(|| {
+            for v in &soft {
+                black_box(fpp_core::fixed_format_digits_relative(
+                    v,
+                    17,
+                    ScalingStrategy::Estimate,
+                    TieBreak::Up,
+                    &mut powers,
+                ));
+            }
+        });
+    });
+    group.bench_function("simple_fixed_17", |b| {
+        let mut powers = PowerTable::with_capacity(10, 350);
+        b.iter(|| {
+            for v in &soft {
+                black_box(simple_fixed_digits(v, 17, &mut powers));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats, bench_fixed_format_with_marks);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Accurate-reader benchmarks: fast path versus exact big-integer path
+//! versus the standard library parser, on the printer's own output.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpp_float::RoundingMode;
+use fpp_reader::read_float;
+use fpp_testgen::SchryerSet;
+use std::hint::black_box;
+
+fn literals(n: usize) -> Vec<String> {
+    let all = SchryerSet::new().collect();
+    let step = (all.len() / n).max(1);
+    all.iter()
+        .step_by(step)
+        .map(|v| fpp_core::print_shortest(*v))
+        .collect()
+}
+
+fn bench_reader(c: &mut Criterion) {
+    let shortest = literals(512);
+    let short_literals: Vec<String> = (0..512).map(|i| format!("{}.{}", i, i % 100)).collect();
+
+    let mut group = c.benchmark_group("reader");
+    group.throughput(Throughput::Elements(512));
+
+    group.bench_function("fpp_shortest_literals", |b| {
+        b.iter(|| {
+            for s in &shortest {
+                let v: f64 = read_float(s, 10, RoundingMode::NearestEven).unwrap();
+                black_box(v);
+            }
+        });
+    });
+    group.bench_function("std_shortest_literals", |b| {
+        b.iter(|| {
+            for s in &shortest {
+                black_box(s.parse::<f64>().unwrap());
+            }
+        });
+    });
+    group.bench_function("fpp_fastpath_literals", |b| {
+        b.iter(|| {
+            for s in &short_literals {
+                let v: f64 = read_float(s, 10, RoundingMode::NearestEven).unwrap();
+                black_box(v);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reader);
+criterion_main!(benches);

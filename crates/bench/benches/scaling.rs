@@ -1,0 +1,80 @@
+//! Criterion micro-benchmark behind Table 2: per-conversion cost of
+//! free-format printing under each scaling strategy, over a stratified
+//! sample of the Schryer set (small, medium and extreme exponents).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpp_bignum::PowerTable;
+use fpp_core::{free_format_digits, ScalingStrategy, TieBreak};
+use fpp_float::{RoundingMode, SoftFloat};
+use fpp_testgen::SchryerSet;
+use std::hint::black_box;
+
+fn sample(n: usize) -> Vec<SoftFloat> {
+    let all = SchryerSet::new().collect();
+    let step = (all.len() / n).max(1);
+    all.iter()
+        .step_by(step)
+        .map(|&v| SoftFloat::from_f64(v).expect("positive finite"))
+        .collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let values = sample(512);
+    let mut group = c.benchmark_group("table2_scaling");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for (name, strategy) in [
+        ("iterative", ScalingStrategy::Iterative),
+        ("log", ScalingStrategy::Log),
+        ("estimate", ScalingStrategy::Estimate),
+        ("gay", ScalingStrategy::Gay),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            let mut powers = PowerTable::with_capacity(10, 350);
+            b.iter(|| {
+                for v in &values {
+                    let d = free_format_digits(
+                        v,
+                        s,
+                        RoundingMode::NearestEven,
+                        TieBreak::Up,
+                        &mut powers,
+                    );
+                    black_box(d);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_extreme_exponents(c: &mut Criterion) {
+    // The iterative scaler's O(|log v|) cost is starkest at the range ends.
+    let values: Vec<SoftFloat> = [1e-300, 1e-200, 1e-100, 1.0, 1e100, 1e200, 1e300]
+        .iter()
+        .map(|&v| SoftFloat::from_f64(v).expect("positive finite"))
+        .collect();
+    let mut group = c.benchmark_group("scaling_extremes");
+    for (name, strategy) in [
+        ("iterative", ScalingStrategy::Iterative),
+        ("estimate", ScalingStrategy::Estimate),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            let mut powers = PowerTable::with_capacity(10, 350);
+            b.iter(|| {
+                for v in &values {
+                    black_box(free_format_digits(
+                        v,
+                        s,
+                        RoundingMode::NearestEven,
+                        TieBreak::Up,
+                        &mut powers,
+                    ));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_scaling_extreme_exponents);
+criterion_main!(benches);

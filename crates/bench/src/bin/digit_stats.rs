@@ -1,0 +1,56 @@
+//! Regenerates the §5 statistic: "The average number of digits needed is
+//! 15.2" for free-format base-10 output over the Schryer-style set, with a
+//! full length histogram.
+//!
+//! ```bash
+//! cargo run -p fpp-bench --release --bin digit_stats [--quick]
+//! ```
+
+use fpp_bignum::PowerTable;
+use fpp_core::{free_format_digits, ScalingStrategy, TieBreak};
+use fpp_float::{RoundingMode, SoftFloat};
+use fpp_testgen::SchryerSet;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut values = SchryerSet::new().collect();
+    if quick {
+        values = values.iter().copied().step_by(16).collect();
+    }
+    let mut powers = PowerTable::with_capacity(10, 350);
+    let mut histogram = [0u64; 18]; // shortest f64 output is 1..=17 digits
+    for &v in &values {
+        let sf = SoftFloat::from_f64(v).expect("positive finite");
+        let d = free_format_digits(
+            &sf,
+            ScalingStrategy::Estimate,
+            RoundingMode::NearestEven,
+            TieBreak::Up,
+            &mut powers,
+        );
+        histogram[d.digits.len()] += 1;
+    }
+    let total: u64 = histogram.iter().sum();
+    let digit_sum: u64 = histogram
+        .iter()
+        .enumerate()
+        .map(|(len, &n)| len as u64 * n)
+        .sum();
+    println!("free-format digit-length distribution over {total} Schryer-form doubles\n");
+    println!("{:>7} {:>10} {:>8}", "digits", "count", "share");
+    for (len, &n) in histogram.iter().enumerate() {
+        if n > 0 {
+            println!(
+                "{:>7} {:>10} {:>7.2}%",
+                len,
+                n,
+                100.0 * n as f64 / total as f64
+            );
+        }
+    }
+    println!(
+        "\nmean: {:.2} digits   (paper: 15.2 — \"the free-format algorithm has no",
+        digit_sum as f64 / total as f64
+    );
+    println!("particular advantage\" over 17-digit fixed output on this workload)");
+}

@@ -1,0 +1,95 @@
+//! Micro-benchmarks for the arbitrary-precision substrate, sized like the
+//! printing algorithm's hot-loop operands (roughly 600–2,400 bits for IEEE
+//! doubles across the exponent range).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpp_bignum::Nat;
+use std::hint::black_box;
+
+fn operand(limbs: usize, seed: u64) -> Nat {
+    let mut state = seed;
+    let v: Vec<u64> = (0..limbs)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state | 1
+        })
+        .collect();
+    Nat::from_limbs(v)
+}
+
+fn bench_digit_loop_division(c: &mut Criterion) {
+    // r/s with a one-digit quotient — the dominating printing operation.
+    let mut group = c.benchmark_group("digit_division");
+    for limbs in [4usize, 16, 40] {
+        let s = operand(limbs, 1);
+        let r0 = &s * &Nat::from(7u64) + operand(limbs - 1, 2);
+        group.bench_with_input(BenchmarkId::new("in_place_u64", limbs), &limbs, |b, _| {
+            b.iter(|| {
+                let mut r = r0.clone();
+                black_box(r.div_rem_in_place_u64(&s));
+                black_box(r);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("general_div_rem", limbs), &limbs, |b, _| {
+            b.iter(|| {
+                let (q, r) = r0.div_rem(&s);
+                black_box((q, r));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_multiplications(c: &mut Criterion) {
+    // The per-digit m± updates: in-place multiply by a base ≤ 36.
+    let mut group = c.benchmark_group("mul_u64");
+    for limbs in [4usize, 16, 40] {
+        let base_value = operand(limbs, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |b, _| {
+            b.iter(|| {
+                let mut n = base_value.clone();
+                n.mul_u64(10);
+                black_box(n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_big_multiplication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_multiply");
+    for limbs in [8usize, 32, 64, 128] {
+        let a = operand(limbs, 4);
+        let b_op = operand(limbs, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bch, _| {
+            bch.iter(|| black_box(&a * &b_op));
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_table(c: &mut Criterion) {
+    use fpp_bignum::PowerTable;
+    c.bench_function("power_table_hit", |b| {
+        let mut t = PowerTable::with_capacity(10, 325);
+        b.iter(|| {
+            for k in [0u32, 17, 155, 308] {
+                black_box(t.pow(k));
+            }
+        });
+    });
+    c.bench_function("pow_from_scratch_308", |b| {
+        b.iter(|| black_box(Nat::from(10u64).pow(308)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_digit_loop_division,
+    bench_small_multiplications,
+    bench_big_multiplication,
+    bench_power_table
+);
+criterion_main!(benches);

@@ -1,0 +1,382 @@
+//! Signed arbitrary-precision integers, layered over [`Nat`].
+
+use crate::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The sign of an [`Int`].
+///
+/// Zero always carries [`Sign::Positive`] so that each value has a unique
+/// representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative values (including zero).
+    Positive,
+    /// Strictly negative values.
+    Negative,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        }
+    }
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// ```
+/// use fpp_bignum::{Int, Nat};
+/// let a = Int::from(-5i64);
+/// let b = Int::from(3i64);
+/// assert_eq!(a + b, Int::from(-2i64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    sign: Sign,
+    mag: Nat,
+}
+
+impl Int {
+    /// The value `0`.
+    #[must_use]
+    pub fn zero() -> Int {
+        Int {
+            sign: Sign::Positive,
+            mag: Nat::zero(),
+        }
+    }
+
+    /// The value `1`.
+    #[must_use]
+    pub fn one() -> Int {
+        Int {
+            sign: Sign::Positive,
+            mag: Nat::one(),
+        }
+    }
+
+    /// Builds an integer from a sign and magnitude (normalizing `-0` to `0`).
+    ///
+    /// ```
+    /// use fpp_bignum::{Int, Nat, Sign};
+    /// let n = Int::from_sign_magnitude(Sign::Negative, Nat::from(9u64));
+    /// assert_eq!(n, Int::from(-9i64));
+    /// assert_eq!(Int::from_sign_magnitude(Sign::Negative, Nat::zero()), Int::zero());
+    /// ```
+    #[must_use]
+    pub fn from_sign_magnitude(sign: Sign, mag: Nat) -> Int {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            Int { sign, mag }
+        }
+    }
+
+    /// The sign of this integer (zero is [`Sign::Positive`]).
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|` as a natural number.
+    #[must_use]
+    pub fn magnitude(&self) -> &Nat {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    #[must_use]
+    pub fn into_magnitude(self) -> Nat {
+        self.mag
+    }
+
+    /// Returns `true` when the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Returns `true` for values strictly less than zero.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Truncated division with remainder: `self = q*d + r`, `|r| < |d|`,
+    /// `r` has the sign of `self` (like Rust's primitive `/` and `%`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    #[must_use]
+    pub fn div_rem(&self, d: &Int) -> (Int, Int) {
+        let (q, r) = self.mag.div_rem(&d.mag);
+        let q_sign = if self.sign == d.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        (
+            Int::from_sign_magnitude(q_sign, q),
+            Int::from_sign_magnitude(self.sign, r),
+        )
+    }
+
+    /// The absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Int {
+        Int::from_sign_magnitude(Sign::Positive, self.mag.clone())
+    }
+}
+
+impl From<Nat> for Int {
+    fn from(mag: Nat) -> Int {
+        Int::from_sign_magnitude(Sign::Positive, mag)
+    }
+}
+
+impl From<&Nat> for Int {
+    fn from(mag: &Nat) -> Int {
+        Int::from_sign_magnitude(Sign::Positive, mag.clone())
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+                Int::from_sign_magnitude(sign, Nat::from(v.unsigned_abs()))
+            }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                Int::from_sign_magnitude(Sign::Positive, Nat::from(v))
+            }
+        }
+    )*};
+}
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Positive, Sign::Negative) => Ordering::Greater,
+            (Sign::Negative, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.mag.cmp(&other.mag),
+            (Sign::Negative, Sign::Negative) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int::from_sign_magnitude(self.sign.flip(), self.mag)
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -self.clone()
+    }
+}
+
+impl Add<&Int> for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        if self.sign == rhs.sign {
+            return Int::from_sign_magnitude(self.sign, &self.mag + &rhs.mag);
+        }
+        match self.mag.cmp(&rhs.mag) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int::from_sign_magnitude(self.sign, &self.mag - &rhs.mag),
+            Ordering::Less => Int::from_sign_magnitude(rhs.sign, &rhs.mag - &self.mag),
+        }
+    }
+}
+
+impl Sub<&Int> for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&Int> for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        Int::from_sign_magnitude(sign, &self.mag * &rhs.mag)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, rhs: &Int) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Default for Int {
+    fn default() -> Int {
+        Int::zero()
+    }
+}
+
+impl std::str::FromStr for Int {
+    type Err = crate::ParseNatError;
+
+    /// Parses a decimal integer with an optional leading sign.
+    ///
+    /// ```
+    /// use fpp_bignum::Int;
+    /// let n: Int = "-12345678901234567890".parse()?;
+    /// assert_eq!(n.to_string(), "-12345678901234567890");
+    /// # Ok::<(), fpp_bignum::ParseNatError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Int, Self::Err> {
+        let (sign, digits) = match s.as_bytes().first() {
+            Some(b'-') => (Sign::Negative, &s[1..]),
+            Some(b'+') => (Sign::Positive, &s[1..]),
+            _ => (Sign::Positive, s),
+        };
+        Ok(Int::from_sign_magnitude(sign, digits.parse::<Nat>()?))
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(self.sign == Sign::Positive, "", &self.mag.to_str_radix(10))
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Int({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_arithmetic_matches_i128() {
+        let cases: &[(i128, i128)] = &[
+            (0, 0),
+            (5, -3),
+            (-5, 3),
+            (-5, -3),
+            (i64::MAX as i128, i64::MAX as i128),
+            (i64::MIN as i128, 1),
+            (123_456_789, -987_654_321),
+        ];
+        for &(a, b) in cases {
+            let ia = Int::from(a);
+            let ib = Int::from(b);
+            assert_eq!(&ia + &ib, Int::from(a + b), "{a} + {b}");
+            assert_eq!(&ia - &ib, Int::from(a - b), "{a} - {b}");
+            assert_eq!(&ia * &ib, Int::from(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn truncated_division_matches_primitive() {
+        let cases: &[(i128, i128)] = &[(7, 2), (-7, 2), (7, -2), (-7, -2), (0, 5), (6, 3)];
+        for &(a, b) in cases {
+            let (q, r) = Int::from(a).div_rem(&Int::from(b));
+            assert_eq!(q, Int::from(a / b), "{a} / {b}");
+            assert_eq!(r, Int::from(a % b), "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let z = Int::from_sign_magnitude(Sign::Negative, Nat::zero());
+        assert_eq!(z, Int::zero());
+        assert!(!z.is_negative());
+        assert_eq!(-Int::zero(), Int::zero());
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(Int::from(-10i64) < Int::from(-9i64));
+        assert!(Int::from(-1i64) < Int::zero());
+        assert!(Int::zero() < Int::one());
+        assert!(Int::from(i128::MIN) < Int::from(i128::MAX));
+    }
+
+    #[test]
+    fn display_includes_sign() {
+        assert_eq!(Int::from(-42i64).to_string(), "-42");
+        assert_eq!(Int::from(42i64).to_string(), "42");
+        assert_eq!(format!("{:?}", Int::from(-1i64)), "Int(-1)");
+    }
+
+    #[test]
+    fn magnitude_accessors() {
+        let n = Int::from(-9i64);
+        assert_eq!(n.magnitude(), &Nat::from(9u64));
+        assert_eq!(n.abs(), Int::from(9i64));
+        assert_eq!(n.into_magnitude(), Nat::from(9u64));
+    }
+}

@@ -1,0 +1,159 @@
+//! Addition for [`Nat`].
+
+use super::Nat;
+use crate::Limb;
+use std::ops::{Add, AddAssign};
+
+/// Adds `b` into `a` in place, growing `a` as needed.
+pub(crate) fn add_assign_limbs(a: &mut Vec<Limb>, b: &[Limb]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    let mut carry = false;
+    for (i, &bd) in b.iter().enumerate() {
+        let (s1, c1) = a[i].overflowing_add(bd);
+        let (s2, c2) = s1.overflowing_add(Limb::from(carry));
+        a[i] = s2;
+        carry = c1 || c2;
+    }
+    if carry {
+        for ad in a.iter_mut().skip(b.len()) {
+            let (s, c) = ad.overflowing_add(1);
+            *ad = s;
+            if !c {
+                return;
+            }
+        }
+        a.push(1);
+    }
+}
+
+impl Nat {
+    /// Adds a primitive `u64` in place.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut n = Nat::from(u64::MAX);
+    /// n.add_u64(1);
+    /// assert_eq!(n, Nat::from(1u128 << 64));
+    /// ```
+    pub fn add_u64(&mut self, rhs: u64) {
+        if rhs == 0 {
+            return;
+        }
+        add_assign_limbs(&mut self.limbs, &[rhs]);
+    }
+}
+
+impl AddAssign<&Nat> for Nat {
+    fn add_assign(&mut self, rhs: &Nat) {
+        add_assign_limbs(&mut self.limbs, &rhs.limbs);
+    }
+}
+
+impl AddAssign<Nat> for Nat {
+    fn add_assign(&mut self, rhs: Nat) {
+        *self += &rhs;
+    }
+}
+
+impl Add<&Nat> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: &Nat) -> Nat {
+        let mut out = self.clone();
+        out += rhs;
+        out
+    }
+}
+
+impl Add<Nat> for Nat {
+    type Output = Nat;
+    fn add(mut self, rhs: Nat) -> Nat {
+        self += &rhs;
+        self
+    }
+}
+
+impl Add<&Nat> for Nat {
+    type Output = Nat;
+    fn add(mut self, rhs: &Nat) -> Nat {
+        self += rhs;
+        self
+    }
+}
+
+impl Add<Nat> for &Nat {
+    type Output = Nat;
+    fn add(self, mut rhs: Nat) -> Nat {
+        rhs += self;
+        rhs
+    }
+}
+
+impl Add<u64> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: u64) -> Nat {
+        let mut out = self.clone();
+        out.add_u64(rhs);
+        out
+    }
+}
+
+impl Add<u64> for Nat {
+    type Output = Nat;
+    fn add(mut self, rhs: u64) -> Nat {
+        self.add_u64(rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_addition_matches_u128() {
+        let a = Nat::from(0xdead_beef_u64);
+        let b = Nat::from(0xfeed_face_u64);
+        assert_eq!(&a + &b, Nat::from(0xdead_beef_u128 + 0xfeed_face_u128));
+    }
+
+    #[test]
+    fn carry_propagates_across_limbs() {
+        let a = Nat::from(u128::MAX);
+        let b = Nat::one();
+        let sum = a + b;
+        assert_eq!(sum.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn carry_propagates_into_longer_operand() {
+        // a longer than b, carry ripples through a's upper limbs
+        let a = Nat::from_limbs(vec![u64::MAX, u64::MAX, 7]);
+        let b = Nat::one();
+        let sum = &a + &b;
+        assert_eq!(sum.limbs(), &[0, 0, 8]);
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let a = Nat::from(123u64);
+        assert_eq!(&a + &Nat::zero(), a);
+        assert_eq!(&Nat::zero() + &a, a);
+        let mut b = a.clone();
+        b.add_u64(0);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn owned_and_borrowed_forms_agree() {
+        let a = Nat::from(77u64);
+        let b = Nat::from(23u64);
+        let expect = Nat::from(100u64);
+        assert_eq!(a.clone() + b.clone(), expect);
+        assert_eq!(a.clone() + &b, expect);
+        assert_eq!(&a + b.clone(), expect);
+        assert_eq!(&a + 23u64, expect);
+        assert_eq!(a + 23u64, expect);
+    }
+}

@@ -1,0 +1,106 @@
+//! Bit-level queries on [`Nat`].
+
+use super::Nat;
+use crate::LIMB_BITS;
+
+impl Nat {
+    /// Number of significant bits: `⌊log₂ self⌋ + 1`, and `0` for zero.
+    ///
+    /// This is the `len(f)` of the paper's §3.2 scaling estimator:
+    /// `log₂ v = e + len(f) − 1 + ε` with `0 ≤ ε < 1`.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert_eq!(Nat::zero().bit_len(), 0);
+    /// assert_eq!(Nat::one().bit_len(), 1);
+    /// assert_eq!(Nat::from(255u64).bit_len(), 8);
+    /// assert_eq!(Nat::from(256u64).bit_len(), 9);
+    /// ```
+    #[must_use]
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64) * u64::from(LIMB_BITS) - u64::from(top.leading_zeros())
+            }
+        }
+    }
+
+    /// Returns the bit at position `i` (little-endian; bit 0 is the LSB).
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let n = Nat::from(0b101u64);
+    /// assert!(n.bit(0) && !n.bit(1) && n.bit(2) && !n.bit(3));
+    /// ```
+    #[must_use]
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / u64::from(LIMB_BITS)) as usize;
+        let bit = i % u64::from(LIMB_BITS);
+        self.limbs.get(limb).is_some_and(|&d| (d >> bit) & 1 == 1)
+    }
+
+    /// Returns `true` when the value is even. Zero is even.
+    ///
+    /// Free-format printing consults this for IEEE unbiased (round-to-even)
+    /// input rounding: the boundary points round to `v` exactly when the
+    /// mantissa is even (§3.1).
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert!(Nat::zero().is_even());
+    /// assert!(!Nat::from(7u64).is_even());
+    /// ```
+    #[must_use]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|&d| d & 1 == 0)
+    }
+
+    /// Number of trailing zero bits, or `None` for zero.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert_eq!(Nat::from(40u64).trailing_zeros(), Some(3));
+    /// assert_eq!(Nat::zero().trailing_zeros(), None);
+    /// ```
+    #[must_use]
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        self.limbs.iter().position(|&d| d != 0).map(|i| {
+            (i as u64) * u64::from(LIMB_BITS) + u64::from(self.limbs[i].trailing_zeros())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_len_across_limb_boundaries() {
+        assert_eq!(Nat::from(u64::MAX).bit_len(), 64);
+        assert_eq!(Nat::from(1u128 << 64).bit_len(), 65);
+        assert_eq!((Nat::one() << 1000u32).bit_len(), 1001);
+    }
+
+    #[test]
+    fn bit_reads_across_limbs() {
+        let n = Nat::one() << 200u32;
+        assert!(n.bit(200));
+        assert!(!n.bit(199));
+        assert!(!n.bit(201));
+        assert!(!n.bit(100_000));
+    }
+
+    #[test]
+    fn parity() {
+        assert!(Nat::from(1u128 << 64).is_even());
+        assert!(!(Nat::from(1u128 << 64) + Nat::one()).is_even());
+    }
+
+    #[test]
+    fn trailing_zeros_multi_limb() {
+        let n = Nat::one() << 130u32;
+        assert_eq!(n.trailing_zeros(), Some(130));
+        assert_eq!(Nat::one().trailing_zeros(), Some(0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Ordering for [`Nat`].
+
+use super::Nat;
+use crate::Limb;
+use std::cmp::Ordering;
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compares two normalized little-endian limb slices.
+pub(crate) fn cmp_limbs(a: &[Limb], b: &[Limb]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => a.iter().rev().cmp(b.iter().rev()),
+        ord => ord,
+    }
+}
+
+impl Nat {
+    /// Compares this number with a primitive `u64` without allocating.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// use std::cmp::Ordering;
+    /// assert_eq!(Nat::from(9u64).cmp_u64(10), Ordering::Less);
+    /// ```
+    #[must_use]
+    pub fn cmp_u64(&self, other: u64) -> Ordering {
+        match self.limbs.len() {
+            0 => 0u64.cmp(&other),
+            1 => self.limbs[0].cmp(&other),
+            _ => Ordering::Greater,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_length_then_lexicographic() {
+        let small = Nat::from(5u64);
+        let big = Nat::from(u128::MAX);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn same_length_comparison() {
+        let a = Nat::from_limbs(vec![0, 1]);
+        let b = Nat::from_limbs(vec![u64::MAX, 0, 1]);
+        assert!(a < b);
+        let c = Nat::from_limbs(vec![1, 1]);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn cmp_u64_cases() {
+        assert_eq!(Nat::zero().cmp_u64(0), Ordering::Equal);
+        assert_eq!(Nat::zero().cmp_u64(1), Ordering::Less);
+        assert_eq!(Nat::from(u128::MAX).cmp_u64(u64::MAX), Ordering::Greater);
+    }
+}

@@ -1,0 +1,246 @@
+//! Division for [`Nat`]: short division by a limb and Knuth Algorithm D
+//! (TAOCP vol. 2, §4.3.1) for multi-limb divisors.
+
+use super::Nat;
+use crate::Limb;
+use std::cmp::Ordering;
+use std::ops::{Div, Rem};
+
+impl Nat {
+    /// Divides by a primitive `u64`, returning quotient and remainder.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let n = Nat::from(1_000_000_000_000_000_000_003u128);
+    /// let (q, r) = n.div_rem_u64(10);
+    /// assert_eq!(q, Nat::from(100_000_000_000_000_000_000u128));
+    /// assert_eq!(r, 3);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn div_rem_u64(&self, d: u64) -> (Nat, u64) {
+        assert!(d != 0, "fpp_bignum: division by zero");
+        let mut q = vec![0 as Limb; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | limb as u128;
+            q[i] = (cur / d as u128) as Limb;
+            rem = cur % d as u128;
+        }
+        (Nat::from_limbs(q), rem as u64)
+    }
+
+    /// Divides by another `Nat`, returning `(quotient, remainder)` with the
+    /// invariant `self == quotient * d + remainder` and `remainder < d`.
+    ///
+    /// Single-limb divisors use short division; longer divisors use Knuth's
+    /// Algorithm D with 64-bit limbs and 128-bit intermediates.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let n = Nat::from(10u64).pow(40);
+    /// let d = Nat::from(10u64).pow(15) + Nat::from(7u64);
+    /// let (q, r) = n.div_rem(&d);
+    /// assert_eq!(q * d + r, Nat::from(10u64).pow(40));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    #[must_use]
+    pub fn div_rem(&self, d: &Nat) -> (Nat, Nat) {
+        assert!(!d.is_zero(), "fpp_bignum: division by zero");
+        match self.cmp(d) {
+            Ordering::Less => return (Nat::zero(), self.clone()),
+            Ordering::Equal => return (Nat::one(), Nat::zero()),
+            Ordering::Greater => {}
+        }
+        if d.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(d.limbs[0]);
+            return (q, Nat::from(r));
+        }
+        div_rem_knuth(self, d)
+    }
+}
+
+/// Knuth Algorithm D. Preconditions: `u > v`, `v` has at least two limbs.
+fn div_rem_knuth(u: &Nat, v: &Nat) -> (Nat, Nat) {
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = v.limbs[n - 1].leading_zeros();
+    let vn = (v << shift).limbs;
+    let mut un = (u << shift).limbs;
+    un.resize(u.limbs.len() + 1, 0); // extra high limb for the first step
+
+    let v_top = vn[n - 1] as u128;
+    let v_next = vn[n - 2] as u128;
+    let base: u128 = 1 << 64;
+
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2..D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two limbs of the current window.
+        let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = num / v_top;
+        let mut rhat = num % v_top;
+        while qhat >= base || qhat * v_next > (rhat << 64) + un[j + n - 2] as u128 {
+            qhat -= 1;
+            rhat += v_top;
+            if rhat >= base {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract q̂·v from the window, tracking a signed
+        // borrow (Hacker's Delight divmnu64 formulation).
+        let mut borrow: i128 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128;
+            let t = un[j + i] as i128 - borrow - (p as u64) as i128;
+            un[j + i] = t as u64;
+            borrow = (p >> 64) as i128 - (t >> 64);
+        }
+        let t = un[j + n] as i128 - borrow;
+        un[j + n] = t as u64;
+
+        // D5/D6: the (rare) case where q̂ was one too large: add back.
+        if t < 0 {
+            qhat -= 1;
+            let mut carry = false;
+            for i in 0..n {
+                let (s1, c1) = un[j + i].overflowing_add(vn[i]);
+                let (s2, c2) = s1.overflowing_add(Limb::from(carry));
+                un[j + i] = s2;
+                carry = c1 || c2;
+            }
+            un[j + n] = un[j + n].wrapping_add(Limb::from(carry));
+        }
+
+        q[j] = qhat as Limb;
+    }
+
+    // D8: denormalize the remainder.
+    un.truncate(n);
+    let mut rem = Nat::from_limbs(un);
+    rem >>= shift;
+    (Nat::from_limbs(q), rem)
+}
+
+impl Div<&Nat> for &Nat {
+    type Output = Nat;
+    fn div(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div<Nat> for Nat {
+    type Output = Nat;
+    fn div(self, rhs: Nat) -> Nat {
+        self.div_rem(&rhs).0
+    }
+}
+
+impl Rem<&Nat> for &Nat {
+    type Output = Nat;
+    fn rem(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem<Nat> for Nat {
+    type Output = Nat;
+    fn rem(self, rhs: Nat) -> Nat {
+        self.div_rem(&rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_division_matches_u128() {
+        let n = Nat::from(u128::MAX);
+        let (q, r) = n.div_rem_u64(7);
+        assert_eq!(q, Nat::from(u128::MAX / 7));
+        assert_eq!(r as u128, u128::MAX % 7);
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let a = Nat::from(5u64);
+        let b = Nat::from(1u128 << 100);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn equal_operands() {
+        let a = Nat::from(10u64).pow(50);
+        let (q, r) = a.div_rem(&a);
+        assert!(q.is_one());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn knuth_basic_invariant() {
+        let a = Nat::from(10u64).pow(60) + Nat::from(12345u64);
+        let b = Nat::from(10u64).pow(25) + Nat::from(678u64);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(q * b + r, a);
+    }
+
+    #[test]
+    fn knuth_addback_case() {
+        // Constructed so the qhat estimate overshoots and D6 add-back fires:
+        // classic trigger u = [0, q-1, q], v = [q, q] in base 2^64 terms.
+        let t = u64::MAX;
+        let u = Nat::from_limbs(vec![0, t - 1, t]);
+        let v = Nat::from_limbs(vec![t, t]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&q * &v + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn power_of_two_divisors_match_shifts() {
+        let a = Nat::from(0xdead_beef_cafe_u64) << 300u32;
+        let d = Nat::one() << 123u32;
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q, &a >> 123u32);
+        assert_eq!(r, Nat::zero());
+    }
+
+    #[test]
+    fn div_rem_in_place_digit() {
+        let mut r = Nat::from(7_654_321u64);
+        let s = Nat::from(1_000_000u64);
+        let d = r.div_rem_in_place_u64(&s);
+        assert_eq!(d, 7);
+        assert_eq!(r, Nat::from(654_321u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = Nat::one().div_rem(&Nat::zero());
+    }
+
+    #[test]
+    fn operators_delegate() {
+        let a = Nat::from(1000u64);
+        let b = Nat::from(7u64);
+        assert_eq!(&a / &b, Nat::from(142u64));
+        assert_eq!(&a % &b, Nat::from(6u64));
+        assert_eq!(a.clone() / b.clone(), Nat::from(142u64));
+        assert_eq!(a % b, Nat::from(6u64));
+    }
+}

@@ -1,0 +1,251 @@
+//! Allocation-free division for the digit-generation hot loop.
+//!
+//! Every digit the printing algorithm produces costs one division
+//! `d = ⌊r/s⌋, r ← r mod s` whose quotient is a single base-`B` digit.
+//! The general Knuth routine allocates a quotient vector and normalized
+//! copies per call; this specialisation computes the one-word quotient from
+//! a 128-bit window estimate that never overshoots, then performs a single
+//! in-place fused multiply-subtract pass, correcting upward by at most a few
+//! bounded steps.
+
+use super::Nat;
+use crate::Limb;
+
+impl Nat {
+    /// In-place hot-loop step of digit generation: replaces `self` with
+    /// `self mod d` and returns `⌊self / d⌋`, which must fit in a `u64`
+    /// (in the printing loop it is a base-`B` digit).
+    ///
+    /// Runs without heap allocation when `self` is within one limb of `d`'s
+    /// width (always true in the digit loop); falls back to the general
+    /// division otherwise.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut r = Nat::from(7_654_321u64);
+    /// let s = Nat::from(1_000_000u64);
+    /// assert_eq!(r.div_rem_in_place_u64(&s), 7);
+    /// assert_eq!(r, Nat::from(654_321u64));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or the quotient does not fit in a `u64`.
+    pub fn div_rem_in_place_u64(&mut self, d: &Nat) -> u64 {
+        assert!(!d.is_zero(), "fpp_bignum: division by zero");
+        let n = d.limbs.len();
+        if self.limbs.len() < n || (self.limbs.len() == n && *self < *d) {
+            return 0;
+        }
+        if self.limbs.len() > n + 1 {
+            // Quotient may exceed one limb; use the general path.
+            let (q, r) = self.div_rem(d);
+            *self = r;
+            return u64::try_from(&q).expect("fpp_bignum: quotient does not fit in u64");
+        }
+        if n == 1 {
+            let (q, r) = self.div_rem_u64(d.limbs[0]);
+            *self = Nat::from(r);
+            return u64::try_from(&q).expect("fpp_bignum: quotient does not fit in u64");
+        }
+
+        // Never-overshooting estimate from normalized windows. Work on the
+        // *conceptual* shifted values S = self << shift, D = d << shift
+        // (D's top limb then has its high bit set); only the top limbs of S
+        // are materialised. With m = limbs(S):
+        //   m = n+1:  q_est = ⌊(S[n]·2⁶⁴ + S[n−1]) / (D[n−1]+1)⌋
+        //   m = n  :  q_est = ⌊S[n−1] / (D[n−1]+1)⌋
+        // Both floor the true quotient (numerator under-, denominator
+        // over-approximated) and undershoot by a small bounded amount
+        // because D[n−1] ≥ 2⁶³.
+        let shift = d.limbs[n - 1].leading_zeros();
+        let top = |limbs: &[Limb], i: isize| -> u64 {
+            if i < 0 || i as usize >= limbs.len() {
+                0
+            } else {
+                limbs[i as usize]
+            }
+        };
+        let window = |limbs: &[Limb], hi: isize| -> u64 {
+            if shift == 0 {
+                top(limbs, hi)
+            } else {
+                (top(limbs, hi) << shift) | (top(limbs, hi - 1) >> (64 - shift))
+            }
+        };
+        let s_len = self.limbs.len() as isize;
+        let carry = if shift == 0 {
+            0
+        } else {
+            top(&self.limbs, s_len - 1) >> (64 - shift)
+        };
+        let m = self.limbs.len() + usize::from(carry != 0);
+        let b: u128 = window(&d.limbs, n as isize - 1) as u128;
+        let a: u128 = match m.checked_sub(n) {
+            Some(0) => window(&self.limbs, s_len - 1) as u128, // S[n-1]
+            Some(1) => {
+                // S[n] is either the carry-out (when self has n limbs) or
+                // the shifted top limb (when self has n+1 limbs, no carry).
+                let s_top: u64 = if self.limbs.len() == n {
+                    carry
+                } else {
+                    window(&self.limbs, s_len - 1)
+                };
+                ((s_top as u128) << 64) | window(&self.limbs, (m as isize) - 2) as u128
+            }
+            _ => {
+                // S spans n+2 limbs: the quotient needs a wider estimate
+                // than one word; let the general path (and its fits-u64
+                // check) handle it.
+                let (q, r) = self.div_rem(d);
+                *self = r;
+                return u64::try_from(&q).expect("fpp_bignum: quotient does not fit in u64");
+            }
+        };
+        let mut q = (a / (b + 1)) as u64;
+
+        // r -= q·d in one fused pass.
+        self.sub_mul_u64(d, q);
+
+        // The estimate never overshoots; correct upward (bounded steps).
+        let mut guard = 0;
+        while *self >= *d {
+            *self -= d;
+            q += 1;
+            guard += 1;
+            debug_assert!(guard < 8, "estimate drifted too far");
+        }
+        q
+    }
+
+    /// `self -= d·q` in one pass. Caller guarantees `d·q ≤ self`.
+    fn sub_mul_u64(&mut self, d: &Nat, q: u64) {
+        if q == 0 {
+            return;
+        }
+        // Multiply-and-subtract with a running borrow (Knuth D4 shape).
+        let mut borrow: u128 = 0; // amount still to subtract at position i
+        for i in 0..self.limbs.len() {
+            let sub = borrow + if i < d.limbs.len() {
+                d.limbs[i] as u128 * q as u128
+            } else {
+                0
+            };
+            let low = sub as u64;
+            let (res, underflow) = self.limbs[i].overflowing_sub(low);
+            self.limbs[i] = res;
+            borrow = (sub >> 64) + u128::from(underflow);
+            if borrow == 0 && i >= d.limbs.len() {
+                break;
+            }
+        }
+        debug_assert_eq!(borrow, 0, "sub_mul underflow: q·d > self");
+        self.normalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(r0: Nat, s: Nat) {
+        let (q_expect, r_expect) = r0.div_rem(&s);
+        let mut r = r0.clone();
+        let q = r.div_rem_in_place_u64(&s);
+        assert_eq!(Nat::from(q), q_expect, "quotient for {r0} / {s}");
+        assert_eq!(r, r_expect, "remainder for {r0} / {s}");
+    }
+
+    #[test]
+    fn matches_general_division_on_small_quotients() {
+        let s = Nat::from(10u64).pow(40);
+        for q in [0u64, 1, 2, 9, 10, 35, 36, 1000, u32::MAX as u64] {
+            let r0 = &s * &Nat::from(q) + Nat::from(123_456u64);
+            check(r0, s.clone());
+        }
+    }
+
+    #[test]
+    fn digit_loop_shapes() {
+        // r and s as the printing loop produces them: same width, quotient
+        // a base-B digit.
+        let s = (Nat::one() << 700u32) + Nat::from(0xdead_beefu64);
+        for digit in 0..36u64 {
+            let r0 = &s * &Nat::from(digit) + (Nat::one() << 699u32);
+            check(r0, s.clone());
+        }
+    }
+
+    #[test]
+    fn remainder_smaller_than_divisor() {
+        let s = Nat::from(10u64).pow(30);
+        check(Nat::from(5u64), s.clone());
+        check(Nat::zero(), s);
+    }
+
+    #[test]
+    fn quotient_exactly_at_limb_boundary() {
+        let s = (Nat::one() << 500u32) + Nat::one();
+        let r0 = &s * &Nat::from(u64::MAX);
+        check(r0.clone(), s.clone());
+        check(r0 + Nat::one(), s);
+    }
+
+    #[test]
+    fn shift_carry_within_same_length() {
+        // self the same length as d, but with a shifted-window carry-out
+        // (top bits above d's normalized top) — exercises the m = n+1
+        // alignment with the carry limb.
+        let d = Nat::from_limbs(vec![5, 1]); // top limb 1 → shift 63
+        let r0 = &d * &Nat::from(u64::MAX - 7) + &Nat::from_limbs(vec![3, 1]);
+        assert_eq!(r0.limbs().len(), 2, "same length as divisor");
+        check(r0, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_window_panics_via_fallback() {
+        // self two limbs longer than d: the quotient necessarily exceeds
+        // u64, and the general-path fallback reports the contract violation.
+        let d = Nat::from_limbs(vec![1, 1]);
+        let mut r = Nat::from_limbs(vec![0, 0, u64::MAX >> 1]);
+        let _ = r.div_rem_in_place_u64(&d);
+    }
+
+    #[test]
+    fn pseudorandom_cross_check() {
+        let mut state: u64 = 0x1234_5678_9abc_def0;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..500 {
+            let n = 1 + (rand() % 6) as usize;
+            let mut d_limbs: Vec<u64> = (0..n).map(|_| rand()).collect();
+            if *d_limbs.last().unwrap() == 0 {
+                *d_limbs.last_mut().unwrap() = 1;
+            }
+            let d = Nat::from_limbs(d_limbs);
+            let q = rand();
+            let rem = &d - &Nat::one(); // largest valid remainder
+            let r0 = &d * &Nat::from(q) + &rem;
+            check(r0, d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        let mut r = Nat::from(1u64);
+        let _ = r.div_rem_in_place_u64(&Nat::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_quotient_panics() {
+        let mut r = Nat::one() << 200u32;
+        let _ = r.div_rem_in_place_u64(&Nat::from(2u64));
+    }
+}

@@ -1,0 +1,93 @@
+//! Greatest common divisor (binary GCD) for [`Nat`].
+
+use super::Nat;
+
+impl Nat {
+    /// Greatest common divisor via Stein's binary algorithm.
+    ///
+    /// `gcd(0, n) == n` by convention.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let a = Nat::from(48u64);
+    /// let b = Nat::from(18u64);
+    /// assert_eq!(a.gcd(&b), Nat::from(6u64));
+    /// ```
+    #[must_use]
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let za = a.trailing_zeros().expect("a is non-zero");
+        let zb = b.trailing_zeros().expect("b is non-zero");
+        let common = za.min(zb) as u32;
+        a >>= za as u32;
+        b >>= zb as u32;
+        // Both odd from here on.
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b -= &a; // even result
+            if b.is_zero() {
+                return a << common;
+            }
+            let z = b.trailing_zeros().expect("b is non-zero") as u32;
+            b >>= z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+
+    #[test]
+    fn matches_euclid_on_small_values() {
+        let cases = [
+            (0u64, 0u64),
+            (0, 5),
+            (5, 0),
+            (1, 1),
+            (12, 18),
+            (17, 31),
+            (1 << 40, 1 << 20),
+            (600_851_475_143, 6_857),
+            (u64::MAX, u64::MAX - 1),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                Nat::from(a).gcd(&Nat::from(b)),
+                Nat::from(gcd_u64(a, b)),
+                "gcd({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn common_large_factor() {
+        let f = Nat::from(10u64).pow(30) + Nat::from(7u64);
+        let a = &f * &Nat::from(6u64);
+        let b = &f * &Nat::from(35u64);
+        assert_eq!(a.gcd(&b), f);
+    }
+
+    #[test]
+    fn gcd_with_powers_of_two() {
+        let a = Nat::one() << 200u32;
+        let b = Nat::one() << 150u32;
+        assert_eq!(a.gcd(&b), Nat::one() << 150u32);
+    }
+}

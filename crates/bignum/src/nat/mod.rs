@@ -1,0 +1,153 @@
+//! Arbitrary-precision natural numbers.
+
+mod add;
+mod bits;
+mod cmp;
+mod convert;
+mod div;
+mod div_small;
+mod gcd;
+mod mul;
+mod pow;
+mod shift;
+mod sub;
+
+pub use convert::ParseNatError;
+
+use crate::Limb;
+
+/// An arbitrary-precision natural number (unsigned integer).
+///
+/// Stored as little-endian 64-bit limbs with the invariant that the most
+/// significant limb is non-zero; zero is the empty limb vector. All public
+/// constructors and operations maintain this normalization.
+///
+/// Arithmetic is provided through the standard operator traits for both owned
+/// values and references; reference forms avoid clones and should be
+/// preferred in hot loops:
+///
+/// ```
+/// use fpp_bignum::Nat;
+/// let a = Nat::from(7u64);
+/// let b = Nat::from(5u64);
+/// assert_eq!(&a * &b + &a, Nat::from(42u64));
+/// ```
+///
+/// # Panics
+///
+/// Like the built-in unsigned integers, subtraction panics on underflow
+/// (use [`Nat::checked_sub`] to handle that case) and division panics on a
+/// zero divisor.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Nat {
+    /// Little-endian limbs; no trailing zero limbs.
+    limbs: Vec<Limb>,
+}
+
+impl Nat {
+    /// The value `0`.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert!(Nat::zero().is_zero());
+    /// ```
+    #[must_use]
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert_eq!(Nat::one(), Nat::from(1u64));
+    /// ```
+    #[must_use]
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Creates a `Nat` from little-endian limbs, normalizing trailing zeros.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert_eq!(Nat::from_limbs(vec![5, 0, 0]), Nat::from(5u64));
+    /// ```
+    #[must_use]
+    pub fn from_limbs(limbs: Vec<Limb>) -> Self {
+        let mut n = Nat { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Borrows the little-endian limbs of this number.
+    ///
+    /// The most significant limb (the last element) is non-zero; zero is the
+    /// empty slice.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert_eq!(Nat::from(u64::MAX).limbs(), &[u64::MAX]);
+    /// ```
+    #[must_use]
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Returns `true` when the value is zero.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert!(Nat::zero().is_zero());
+    /// assert!(!Nat::one().is_zero());
+    /// ```
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` when the value is one.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert!(Nat::one().is_one());
+    /// ```
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Removes trailing zero limbs to restore the representation invariant.
+    pub(crate) fn normalize(&mut self) {
+        while let Some(&0) = self.limbs.last() {
+            self.limbs.pop();
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty() {
+        assert!(Nat::zero().limbs().is_empty());
+        assert!(Nat::default().is_zero());
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let n = Nat::from_limbs(vec![0, 0, 0]);
+        assert!(n.is_zero());
+        let n = Nat::from_limbs(vec![1, 2, 0]);
+        assert_eq!(n.limbs(), &[1, 2]);
+    }
+
+    #[test]
+    fn one_is_one() {
+        assert!(Nat::one().is_one());
+        assert!(!Nat::zero().is_one());
+        assert!(!Nat::from(2u64).is_one());
+    }
+}

@@ -1,0 +1,81 @@
+//! Exponentiation for [`Nat`].
+
+use super::Nat;
+
+impl Nat {
+    /// Raises `self` to the power `exp` by binary exponentiation.
+    ///
+    /// `0^0` is defined as `1`, matching `u64::pow`.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert_eq!(Nat::from(2u64).pow(100), Nat::one() << 100u32);
+    /// assert_eq!(Nat::from(10u64).pow(0), Nat::one());
+    /// ```
+    #[must_use]
+    pub fn pow(&self, mut exp: u32) -> Nat {
+        let mut result = Nat::one();
+        if exp == 0 {
+            return result;
+        }
+        let mut base = self.clone();
+        loop {
+            if exp & 1 == 1 {
+                result = &result * &base;
+            }
+            exp >>= 1;
+            if exp == 0 {
+                return result;
+            }
+            base = &base * &base;
+        }
+    }
+
+    /// `base^exp` for a primitive base — the `(expt b e)` of the paper's
+    /// Scheme code (Figure 1).
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// assert_eq!(Nat::u64_pow(10, 20), Nat::from(100_000_000_000_000_000_000u128));
+    /// ```
+    #[must_use]
+    pub fn u64_pow(base: u64, exp: u32) -> Nat {
+        Nat::from(base).pow(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_repeated_multiplication() {
+        let b = Nat::from(37u64);
+        let mut acc = Nat::one();
+        for e in 0..40u32 {
+            assert_eq!(b.pow(e), acc);
+            acc = &acc * &b;
+        }
+    }
+
+    #[test]
+    fn powers_of_two_match_shifts() {
+        for e in [0u32, 1, 63, 64, 65, 300] {
+            assert_eq!(Nat::from(2u64).pow(e), Nat::one() << e);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_bases() {
+        assert_eq!(Nat::zero().pow(0), Nat::one());
+        assert!(Nat::zero().pow(5).is_zero());
+        assert!(Nat::one().pow(1_000_000).is_one());
+    }
+
+    #[test]
+    fn large_power_of_ten_digit_count() {
+        // 10^325 covers the full IEEE double range (paper's Figure 2 table).
+        let p = Nat::u64_pow(10, 325);
+        assert_eq!(p.to_str_radix(10).len(), 326);
+    }
+}

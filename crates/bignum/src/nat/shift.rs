@@ -1,0 +1,129 @@
+//! Bit shifts for [`Nat`].
+
+use super::Nat;
+use crate::{Limb, LIMB_BITS};
+use std::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+impl ShlAssign<u32> for Nat {
+    fn shl_assign(&mut self, bits: u32) {
+        if self.is_zero() || bits == 0 {
+            return;
+        }
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        let bit_shift = bits % LIMB_BITS;
+        if bit_shift != 0 {
+            let mut carry: Limb = 0;
+            for d in &mut self.limbs {
+                let new_carry = *d >> (LIMB_BITS - bit_shift);
+                *d = (*d << bit_shift) | carry;
+                carry = new_carry;
+            }
+            if carry != 0 {
+                self.limbs.push(carry);
+            }
+        }
+        if limb_shift != 0 {
+            let mut shifted = vec![0; limb_shift];
+            shifted.append(&mut self.limbs);
+            self.limbs = shifted;
+        }
+    }
+}
+
+impl ShrAssign<u32> for Nat {
+    fn shr_assign(&mut self, bits: u32) {
+        if self.is_zero() || bits == 0 {
+            return;
+        }
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            self.limbs.clear();
+            return;
+        }
+        self.limbs.drain(..limb_shift);
+        let bit_shift = bits % LIMB_BITS;
+        if bit_shift != 0 {
+            let mut carry: Limb = 0;
+            for d in self.limbs.iter_mut().rev() {
+                let new_carry = *d << (LIMB_BITS - bit_shift);
+                *d = (*d >> bit_shift) | carry;
+                carry = new_carry;
+            }
+        }
+        self.normalize();
+    }
+}
+
+impl Shl<u32> for Nat {
+    type Output = Nat;
+    fn shl(mut self, bits: u32) -> Nat {
+        self <<= bits;
+        self
+    }
+}
+
+impl Shl<u32> for &Nat {
+    type Output = Nat;
+    fn shl(self, bits: u32) -> Nat {
+        let mut out = self.clone();
+        out <<= bits;
+        out
+    }
+}
+
+impl Shr<u32> for Nat {
+    type Output = Nat;
+    fn shr(mut self, bits: u32) -> Nat {
+        self >>= bits;
+        self
+    }
+}
+
+impl Shr<u32> for &Nat {
+    type Output = Nat;
+    fn shr(self, bits: u32) -> Nat {
+        let mut out = self.clone();
+        out >>= bits;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_match_u128_semantics() {
+        let n = Nat::from(0b1011u64);
+        assert_eq!(n.clone() << 7u32, Nat::from(0b1011u128 << 7));
+        assert_eq!(n.clone() << 100u32, Nat::from(0b1011u128 << 100));
+        assert_eq!((n.clone() << 100u32) >> 100u32, n);
+    }
+
+    #[test]
+    fn shl_across_limb_boundary() {
+        let n = Nat::from(u64::MAX) << 1u32;
+        assert_eq!(n, Nat::from((u64::MAX as u128) << 1));
+        assert_eq!(n.limbs().len(), 2);
+    }
+
+    #[test]
+    fn shl_by_exact_limb_multiples() {
+        let n = Nat::from(5u64) << 128u32;
+        assert_eq!(n.limbs(), &[0, 0, 5]);
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        let n = Nat::from(u128::MAX);
+        assert!((n >> 128u32).is_zero());
+        assert!((Nat::zero() >> 3u32).is_zero());
+    }
+
+    #[test]
+    fn shift_zero_amount_is_identity() {
+        let n = Nat::from(42u64);
+        assert_eq!(&n << 0u32, n);
+        assert_eq!(&n >> 0u32, n);
+    }
+}

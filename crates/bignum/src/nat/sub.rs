@@ -1,0 +1,178 @@
+//! Subtraction for [`Nat`].
+
+use super::Nat;
+use crate::Limb;
+use std::ops::{Sub, SubAssign};
+
+/// Subtracts `b` from `a` in place. Returns `false` (leaving `a` in an
+/// unspecified but valid state) if `b > a`.
+fn sub_assign_limbs(a: &mut [Limb], b: &[Limb]) -> bool {
+    if a.len() < b.len() {
+        return false;
+    }
+    let mut borrow = false;
+    for (i, &bd) in b.iter().enumerate() {
+        let (d1, c1) = a[i].overflowing_sub(bd);
+        let (d2, c2) = d1.overflowing_sub(Limb::from(borrow));
+        a[i] = d2;
+        borrow = c1 || c2;
+    }
+    if borrow {
+        for ad in a.iter_mut().skip(b.len()) {
+            let (d, c) = ad.overflowing_sub(1);
+            *ad = d;
+            if !c {
+                borrow = false;
+                break;
+            }
+        }
+    }
+    !borrow
+}
+
+impl Nat {
+    /// Subtracts `rhs`, returning `None` on underflow.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let five = Nat::from(5u64);
+    /// let three = Nat::from(3u64);
+    /// assert_eq!(five.checked_sub(&three), Some(Nat::from(2u64)));
+    /// assert_eq!(three.checked_sub(&five), None);
+    /// ```
+    #[must_use]
+    pub fn checked_sub(&self, rhs: &Nat) -> Option<Nat> {
+        let mut out = self.clone();
+        if sub_assign_limbs(&mut out.limbs, &rhs.limbs) {
+            out.normalize();
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Subtracts a primitive `u64` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`.
+    pub fn sub_u64(&mut self, rhs: u64) {
+        if rhs == 0 {
+            return;
+        }
+        assert!(
+            sub_assign_limbs(&mut self.limbs, &[rhs]),
+            "fpp_bignum: Nat subtraction underflow"
+        );
+        self.normalize();
+    }
+}
+
+impl SubAssign<&Nat> for Nat {
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`.
+    fn sub_assign(&mut self, rhs: &Nat) {
+        assert!(
+            sub_assign_limbs(&mut self.limbs, &rhs.limbs),
+            "fpp_bignum: Nat subtraction underflow"
+        );
+        self.normalize();
+    }
+}
+
+impl SubAssign<Nat> for Nat {
+    fn sub_assign(&mut self, rhs: Nat) {
+        *self -= &rhs;
+    }
+}
+
+impl Sub<&Nat> for &Nat {
+    type Output = Nat;
+    fn sub(self, rhs: &Nat) -> Nat {
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+impl Sub<Nat> for Nat {
+    type Output = Nat;
+    fn sub(mut self, rhs: Nat) -> Nat {
+        self -= &rhs;
+        self
+    }
+}
+
+impl Sub<&Nat> for Nat {
+    type Output = Nat;
+    fn sub(mut self, rhs: &Nat) -> Nat {
+        self -= rhs;
+        self
+    }
+}
+
+impl Sub<Nat> for &Nat {
+    type Output = Nat;
+    fn sub(self, rhs: Nat) -> Nat {
+        self - &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_subtraction_matches_u128() {
+        let a = Nat::from(1_000_000_007u64);
+        let b = Nat::from(999_999_937u64);
+        assert_eq!(&a - &b, Nat::from(70u64));
+    }
+
+    #[test]
+    fn borrow_propagates_across_limbs() {
+        let a = Nat::from(1u128 << 64);
+        let b = Nat::one();
+        assert_eq!(a - b, Nat::from(u64::MAX));
+    }
+
+    #[test]
+    fn borrow_ripples_through_many_limbs() {
+        let a = Nat::from_limbs(vec![0, 0, 0, 1]);
+        let b = Nat::one();
+        let d = &a - &b;
+        assert_eq!(d.limbs(), &[u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(d + Nat::one(), a);
+    }
+
+    #[test]
+    fn self_subtraction_is_zero() {
+        let a = Nat::from(u128::MAX - 3);
+        assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        assert_eq!(Nat::zero().checked_sub(&Nat::one()), None);
+        let a = Nat::from(1u128 << 100);
+        let b = &a + &Nat::one();
+        assert_eq!(a.checked_sub(&b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_assign_underflow_panics() {
+        let mut a = Nat::from(3u64);
+        a -= &Nat::from(4u64);
+    }
+
+    #[test]
+    fn sub_u64_works() {
+        let mut a = Nat::from(1u128 << 64);
+        a.sub_u64(1);
+        assert_eq!(a, Nat::from(u64::MAX));
+        a.sub_u64(0);
+        assert_eq!(a, Nat::from(u64::MAX));
+    }
+}

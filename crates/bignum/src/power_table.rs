@@ -1,0 +1,119 @@
+//! Memoised powers of an output base.
+//!
+//! The paper's Figure 2 precomputes `10^k` for `0 ≤ k ≤ 325` ("sufficient to
+//! handle all IEEE double-precision floating-point numbers") so that scaling
+//! costs a table lookup instead of an exponentiation. [`PowerTable`]
+//! generalizes that cache to any base and grows on demand, so output bases
+//! 2–36 and wider float formats are covered by the same mechanism.
+
+use crate::Nat;
+
+/// A growable cache of `base^0, base^1, …` as big naturals.
+///
+/// ```
+/// use fpp_bignum::PowerTable;
+/// let mut tens = PowerTable::new(10);
+/// assert_eq!(tens.pow(3).to_string(), "1000");
+/// assert_eq!(tens.pow(0).to_string(), "1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerTable {
+    base: u64,
+    powers: Vec<Nat>,
+}
+
+impl PowerTable {
+    /// Creates an empty table for `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base < 2`.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        assert!(base >= 2, "fpp_bignum: power table base must be >= 2");
+        PowerTable {
+            base,
+            powers: vec![Nat::one()],
+        }
+    }
+
+    /// Creates a table pre-filled up to `base^max_exp` inclusive, like the
+    /// paper's fixed 0–325 table for base 10.
+    #[must_use]
+    pub fn with_capacity(base: u64, max_exp: u32) -> Self {
+        let mut t = PowerTable::new(base);
+        t.grow_to(max_exp as usize);
+        t
+    }
+
+    /// The base of this table.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Returns `base^exp`, computing and caching any missing prefix.
+    #[must_use]
+    pub fn pow(&mut self, exp: u32) -> &Nat {
+        self.grow_to(exp as usize);
+        &self.powers[exp as usize]
+    }
+
+    /// Multiplies `n` by `base^exp` (a cached big multiply; the common
+    /// operation when applying a scaling estimate).
+    #[must_use]
+    pub fn scale(&mut self, n: &Nat, exp: u32) -> Nat {
+        if exp == 0 {
+            return n.clone();
+        }
+        n * self.pow(exp)
+    }
+
+    fn grow_to(&mut self, exp: usize) {
+        while self.powers.len() <= exp {
+            let last = self.powers.last().expect("table is never empty");
+            self.powers.push(last.mul_u64_ref(self.base));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_match_pow() {
+        let mut t = PowerTable::new(10);
+        for e in [0u32, 1, 5, 30, 100, 325] {
+            assert_eq!(t.pow(e), &Nat::from(10u64).pow(e));
+        }
+    }
+
+    #[test]
+    fn non_monotone_queries_hit_cache() {
+        let mut t = PowerTable::new(2);
+        assert_eq!(t.pow(64), &(Nat::one() << 64u32));
+        assert_eq!(t.pow(3), &Nat::from(8u64));
+        assert_eq!(t.pow(64), &(Nat::one() << 64u32));
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let mut t = PowerTable::new(10);
+        let n = Nat::from(7u64);
+        assert_eq!(t.scale(&n, 3), Nat::from(7000u64));
+        assert_eq!(t.scale(&n, 0), n);
+    }
+
+    #[test]
+    fn with_capacity_prefills() {
+        let t = PowerTable::with_capacity(10, 325);
+        assert_eq!(t.powers.len(), 326);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be >= 2")]
+    fn base_below_two_panics() {
+        let _ = PowerTable::new(1);
+    }
+}

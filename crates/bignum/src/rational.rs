@@ -1,0 +1,436 @@
+//! Exact rational arithmetic, layered over [`Int`] and [`Nat`].
+//!
+//! The paper's §2 reference algorithm is defined with exact rational
+//! arithmetic; [`Rat`] makes that algorithm directly executable so it can
+//! serve as the oracle for the optimized integer implementation.
+
+use crate::{Int, Nat, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number, always stored in lowest terms with a strictly
+/// positive denominator.
+///
+/// ```
+/// use fpp_bignum::Rat;
+/// let third = Rat::from_ratio_u64(1, 3);
+/// let sum = &third + &third + &third;
+/// assert_eq!(sum, Rat::from(1i64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Int,
+    den: Nat, // > 0
+}
+
+impl Rat {
+    /// The value `0`.
+    #[must_use]
+    pub fn zero() -> Rat {
+        Rat {
+            num: Int::zero(),
+            den: Nat::one(),
+        }
+    }
+
+    /// The value `1`.
+    #[must_use]
+    pub fn one() -> Rat {
+        Rat {
+            num: Int::one(),
+            den: Nat::one(),
+        }
+    }
+
+    /// Builds `num / den` reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn from_ratio(num: Int, den: Nat) -> Rat {
+        assert!(!den.is_zero(), "fpp_bignum: rational with zero denominator");
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            return Rat { num, den };
+        }
+        let sign = num.sign();
+        let (nq, _) = num.magnitude().div_rem(&g);
+        let (dq, _) = den.div_rem(&g);
+        Rat {
+            num: Int::from_sign_magnitude(sign, nq),
+            den: dq,
+        }
+    }
+
+    /// Builds `num / den` from primitives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn from_ratio_u64(num: u64, den: u64) -> Rat {
+        Rat::from_ratio(Int::from(num), Nat::from(den))
+    }
+
+    /// The numerator (sign-carrying, in lowest terms).
+    #[must_use]
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// The denominator (positive, in lowest terms).
+    #[must_use]
+    pub fn denom(&self) -> &Nat {
+        &self.den
+    }
+
+    /// Returns `true` when the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` for values strictly less than zero.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` when the value is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// `⌊self⌋`, the greatest integer not exceeding the value.
+    ///
+    /// ```
+    /// use fpp_bignum::{Int, Rat};
+    /// assert_eq!(Rat::from_ratio(Int::from(7i64), 2u64.into()).floor(), Int::from(3i64));
+    /// assert_eq!(Rat::from_ratio(Int::from(-7i64), 2u64.into()).floor(), Int::from(-4i64));
+    /// ```
+    #[must_use]
+    pub fn floor(&self) -> Int {
+        let (q, r) = self.num.magnitude().div_rem(&self.den);
+        match self.num.sign() {
+            Sign::Positive => Int::from(q),
+            Sign::Negative => {
+                let q = Int::from_sign_magnitude(Sign::Negative, q);
+                if r.is_zero() {
+                    q
+                } else {
+                    q - Int::one()
+                }
+            }
+        }
+    }
+
+    /// `⌈self⌉`, the least integer not less than the value.
+    #[must_use]
+    pub fn ceil(&self) -> Int {
+        -((-self).floor())
+    }
+
+    /// The fractional part `self − ⌊self⌋`, in `[0, 1)`.
+    #[must_use]
+    pub fn fract(&self) -> Rat {
+        self - &Rat::from(self.floor())
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "fpp_bignum: reciprocal of zero");
+        Rat {
+            num: Int::from_sign_magnitude(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// `base^exp` as an exact rational, supporting negative exponents.
+    ///
+    /// ```
+    /// use fpp_bignum::Rat;
+    /// assert_eq!(Rat::pow_i32(10, -2), Rat::from_ratio_u64(1, 100));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base == 0` and `exp < 0`.
+    #[must_use]
+    pub fn pow_i32(base: u64, exp: i32) -> Rat {
+        let mag = Nat::from(base).pow(exp.unsigned_abs());
+        if exp >= 0 {
+            Rat::from(Int::from(mag))
+        } else {
+            Rat::from(Int::from(mag)).recip()
+        }
+    }
+
+    /// Approximates the value as an `f64` (for estimation only, not
+    /// correctly rounded).
+    #[must_use]
+    pub fn to_f64_lossy(&self) -> f64 {
+        let mag = self.num.magnitude().to_f64_lossy() / self.den.to_f64_lossy();
+        if self.num.is_negative() {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(num: Int) -> Rat {
+        Rat {
+            num,
+            den: Nat::one(),
+        }
+    }
+}
+
+impl From<Nat> for Rat {
+    fn from(n: Nat) -> Rat {
+        Rat::from(Int::from(n))
+    }
+}
+
+macro_rules! impl_from_prim {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Rat {
+            fn from(v: $t) -> Rat {
+                Rat::from(Int::from(v))
+            }
+        }
+    )*};
+}
+impl_from_prim!(i32, i64, u32, u64);
+
+impl Add<&Rat> for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        let num = &self.num * &Int::from(&rhs.den) + &rhs.num * &Int::from(&self.den);
+        let den = &self.den * &rhs.den;
+        Rat::from_ratio(num, den)
+    }
+}
+
+impl Sub<&Rat> for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&Rat> for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::from_ratio(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div<&Rat> for &Rat {
+    type Output = Rat;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a·(1/b) by definition
+    fn div(self, rhs: &Rat) -> Rat {
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+macro_rules! forward_owned_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_owned_rat_binop!(Add, add);
+forward_owned_rat_binop!(Sub, sub);
+forward_owned_rat_binop!(Mul, mul);
+forward_owned_rat_binop!(Div, div);
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        let lhs = &self.num * &Int::from(&other.den);
+        let rhs = &other.num * &Int::from(&self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::zero()
+    }
+}
+
+impl std::str::FromStr for Rat {
+    type Err = crate::ParseNatError;
+
+    /// Parses `numerator[/denominator]` in decimal, either part signed.
+    ///
+    /// ```
+    /// use fpp_bignum::Rat;
+    /// let r: Rat = "-6/8".parse()?;
+    /// assert_eq!(r.to_string(), "-3/4");
+    /// assert_eq!("42".parse::<Rat>()?.to_string(), "42");
+    /// # Ok::<(), fpp_bignum::ParseNatError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Rat, Self::Err> {
+        match s.split_once('/') {
+            None => Ok(Rat::from(s.parse::<Int>()?)),
+            Some((num, den)) => {
+                let num: Int = num.parse()?;
+                let den: Int = den.parse()?;
+                let sign_flip = den.is_negative();
+                let r = Rat::from_ratio(num, den.into_magnitude());
+                Ok(if sign_flip { -r } else { r })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_to_lowest_terms() {
+        let r = Rat::from_ratio_u64(6, 8);
+        assert_eq!(r.numer(), &Int::from(3i64));
+        assert_eq!(r.denom(), &Nat::from(4u64));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Rat::from_ratio_u64(3, 7);
+        let b = Rat::from_ratio_u64(2, 5);
+        assert_eq!(&a + &b, Rat::from_ratio_u64(29, 35));
+        assert_eq!(&a - &a, Rat::zero());
+        assert_eq!(&a * &b, Rat::from_ratio_u64(6, 35));
+        assert_eq!(&a / &a, Rat::one());
+        assert_eq!(&(&a / &b) * &b, a);
+    }
+
+    #[test]
+    fn negative_values_normalize_sign_to_numerator() {
+        let r = Rat::from_ratio(Int::from(-4i64), Nat::from(6u64));
+        assert_eq!(r.numer(), &Int::from(-2i64));
+        assert_eq!(r.denom(), &Nat::from(3u64));
+        assert!(r.is_negative());
+        assert!((-&r) > Rat::zero());
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        let r = Rat::from_ratio_u64(7, 2);
+        assert_eq!(r.floor(), Int::from(3i64));
+        assert_eq!(r.ceil(), Int::from(4i64));
+        assert_eq!(r.fract(), Rat::from_ratio_u64(1, 2));
+        let n = -&r;
+        assert_eq!(n.floor(), Int::from(-4i64));
+        assert_eq!(n.ceil(), Int::from(-3i64));
+        assert_eq!(n.fract(), Rat::from_ratio_u64(1, 2));
+        assert_eq!(Rat::from(5i64).floor(), Int::from(5i64));
+        assert_eq!(Rat::from(5i64).ceil(), Int::from(5i64));
+        assert!(Rat::from(5i64).fract().is_zero());
+    }
+
+    #[test]
+    fn ordering_cross_multiplies() {
+        assert!(Rat::from_ratio_u64(1, 3) < Rat::from_ratio_u64(1, 2));
+        assert!(Rat::from(-1i64) < Rat::from_ratio_u64(1, 1000));
+        assert_eq!(
+            Rat::from_ratio_u64(2, 4).cmp(&Rat::from_ratio_u64(1, 2)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn pow_i32_negative_exponents() {
+        assert_eq!(Rat::pow_i32(2, 10), Rat::from(1024i64));
+        assert_eq!(Rat::pow_i32(2, -3), Rat::from_ratio_u64(1, 8));
+        assert_eq!(Rat::pow_i32(7, 0), Rat::one());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rat::from_ratio_u64(1, 3).to_string(), "1/3");
+        assert_eq!(Rat::from(7i64).to_string(), "7");
+        assert_eq!((-Rat::from_ratio_u64(1, 3)).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn half_representation_of_float() {
+        // v = 3 * 2^-1 = 1.5 exactly
+        let v = Rat::from(3i64) * Rat::pow_i32(2, -1);
+        assert_eq!(v, Rat::from_ratio_u64(3, 2));
+        assert_eq!(v.to_f64_lossy(), 1.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the bignum substrate, checked against `u128`
+//! oracles for small values and against algebraic identities for large ones.
+
+use fpp_bignum::{Int, Nat, PowerTable, Rat};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary multi-limb natural number (up to ~512 bits).
+fn arb_nat() -> impl Strategy<Value = Nat> {
+    prop::collection::vec(any::<u64>(), 0..8).prop_map(Nat::from_limbs)
+}
+
+/// Strategy producing a non-zero natural number.
+fn arb_nonzero_nat() -> impl Strategy<Value = Nat> {
+    arb_nat().prop_map(|n| if n.is_zero() { Nat::one() } else { n })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a: u64, b: u64) {
+        prop_assert_eq!(
+            Nat::from(a) + Nat::from(b),
+            Nat::from(a as u128 + b as u128)
+        );
+    }
+
+    #[test]
+    fn mul_matches_u128(a: u64, b: u64) {
+        prop_assert_eq!(
+            Nat::from(a) * Nat::from(b),
+            Nat::from(a as u128 * b as u128)
+        );
+    }
+
+    #[test]
+    fn sub_matches_u128(a: u128, b: u128) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(Nat::from(hi) - Nat::from(lo), Nat::from(hi - lo));
+        if hi != lo {
+            prop_assert_eq!(Nat::from(lo).checked_sub(&Nat::from(hi)), None);
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a: u128, b in 1u128..) {
+        let (q, r) = Nat::from(a).div_rem(&Nat::from(b));
+        prop_assert_eq!(q, Nat::from(a / b));
+        prop_assert_eq!(r, Nat::from(a % b));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in arb_nat(), b in arb_nat()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn division_invariant(a in arb_nat(), d in arb_nonzero_nat()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q * d + r, a);
+    }
+
+    #[test]
+    fn division_by_small_agrees_with_general(a in arb_nat(), d in 1u64..) {
+        let (q1, r1) = a.div_rem_u64(d);
+        let (q2, r2) = a.div_rem(&Nat::from(d));
+        prop_assert_eq!(q1, q2);
+        prop_assert_eq!(Nat::from(r1), r2);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers_of_two(a in arb_nat(), s in 0u32..300) {
+        let shifted = &a << s;
+        prop_assert_eq!(&shifted, &(&a * &Nat::from(2u64).pow(s)));
+        prop_assert_eq!(&shifted >> s, a);
+    }
+
+    #[test]
+    fn bit_len_bounds(a in arb_nonzero_nat()) {
+        let bits = a.bit_len();
+        prop_assert!(a >= Nat::one() << (bits as u32 - 1));
+        prop_assert!(a < Nat::one() << bits as u32);
+    }
+
+    #[test]
+    fn radix_string_round_trip(a in arb_nat(), radix in 2u32..=36) {
+        let s = a.to_str_radix(radix);
+        prop_assert_eq!(Nat::from_str_radix(&s, radix).unwrap(), a);
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal(a in arb_nat(), b in arb_nat(), m in arb_nonzero_nat()) {
+        let am = &a * &m;
+        let bm = &b * &m;
+        let g = am.gcd(&bm);
+        if am.is_zero() && bm.is_zero() {
+            prop_assert!(g.is_zero());
+        } else {
+            prop_assert!((&am % &g).is_zero());
+            prop_assert!((&bm % &g).is_zero());
+            // the common factor m divides the gcd
+            prop_assert!((&g % &m).is_zero());
+        }
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(base in 0u64..1000, exp in 0u32..20) {
+        let mut acc = Nat::one();
+        for _ in 0..exp {
+            acc = acc * Nat::from(base);
+        }
+        prop_assert_eq!(Nat::from(base).pow(exp), acc);
+    }
+
+    #[test]
+    fn power_table_matches_pow(base in 2u64..=36, exp in 0u32..120) {
+        let mut t = PowerTable::new(base);
+        prop_assert_eq!(t.pow(exp), &Nat::from(base).pow(exp));
+    }
+
+    #[test]
+    fn int_ring_laws(a: i64, b: i64, c: i64) {
+        let (ia, ib, ic) = (Int::from(a), Int::from(b), Int::from(c));
+        prop_assert_eq!(&ia + &ib, &ib + &ia);
+        prop_assert_eq!(&ia * &(&ib + &ic), &ia * &ib + &ia * &ic);
+        prop_assert_eq!(&ia - &ia, Int::zero());
+        prop_assert_eq!(
+            Int::from(a) + Int::from(b),
+            Int::from(a as i128 + b as i128)
+        );
+        prop_assert_eq!(
+            Int::from(a) * Int::from(b),
+            Int::from(a as i128 * b as i128)
+        );
+    }
+
+    #[test]
+    fn int_ordering_matches_primitive(a: i64, b: i64) {
+        prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn rat_field_laws(an in -1000i64..1000, ad in 1u64..1000, bn in -1000i64..1000, bd in 1u64..1000) {
+        let a = Rat::from_ratio(Int::from(an), Nat::from(ad));
+        let b = Rat::from_ratio(Int::from(bn), Nat::from(bd));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+        // floor/fract decomposition
+        let f = a.fract();
+        prop_assert!(f >= Rat::zero() && f < Rat::one());
+        prop_assert_eq!(Rat::from(a.floor()) + f, a);
+    }
+
+    #[test]
+    fn rat_ordering_matches_cross_multiplication(an in -100i64..100, ad in 1u64..100, bn in -100i64..100, bd in 1u64..100) {
+        let a = Rat::from_ratio(Int::from(an), Nat::from(ad));
+        let b = Rat::from_ratio(Int::from(bn), Nat::from(bd));
+        let exact = (an as i128 * bd as i128).cmp(&(bn as i128 * ad as i128));
+        prop_assert_eq!(a.cmp(&b), exact);
+    }
+
+    #[test]
+    fn karatsuba_sized_products_are_consistent(a in prop::collection::vec(any::<u64>(), 60..80),
+                                               b in prop::collection::vec(any::<u64>(), 60..80)) {
+        // Verify (a*b)/b == a and (a*b)%b == 0 for operands big enough to
+        // exercise the Karatsuba path.
+        let a = Nat::from_limbs(a);
+        let b = {
+            let n = Nat::from_limbs(b);
+            if n.is_zero() { Nat::one() } else { n }
+        };
+        let p = &a * &b;
+        let (q, r) = p.div_rem(&b);
+        prop_assert_eq!(q, a);
+        prop_assert!(r.is_zero());
+    }
+}

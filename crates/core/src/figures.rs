@@ -1,0 +1,403 @@
+//! The paper's Scheme listings (Figures 1–3), transliterated.
+//!
+//! These are deliberately *structural* translations of the published code —
+//! the same recursive shape, the same variable names, the same call
+//! structure — kept as executable fidelity artifacts and
+//! differential-tested against the optimized pipeline. Production callers
+//! should use [`crate::free_format_digits`]; these exist so that the
+//! correspondence between this repository and the paper can be checked
+//! line-by-line.
+//!
+//! | Paper figure | Function here |
+//! |---|---|
+//! | Figure 1 (`flonum->digits`, iterative `scale`, `generate`) | [`fig1_flonum_to_digits`] |
+//! | Figure 2 (`scale` via floating-point logarithm, `fixup`) | [`fig2_flonum_to_digits`] |
+//! | Figure 3 (fast estimator `scale`, penalty-free `fixup`) | [`fig3_flonum_to_digits`] |
+
+use fpp_bignum::Nat;
+use fpp_float::SoftFloat;
+
+/// Figure 1: `flonum->digits` with the iterative scaling procedure and IEEE
+/// unbiased rounding (round to even). Returns `(k, digits)`.
+///
+/// ```
+/// use fpp_core::figures::fig1_flonum_to_digits;
+/// use fpp_float::SoftFloat;
+/// let v = SoftFloat::from_f64(0.3).expect("positive finite");
+/// assert_eq!(fig1_flonum_to_digits(&v, 10), (0, vec![3]));
+/// ```
+#[must_use]
+pub fn fig1_flonum_to_digits(v: &SoftFloat, big_b: u64) -> (i32, Vec<u8>) {
+    // (define flonum->digits (lambda (v f e min-e p b B) ...))
+    let f = v.mantissa();
+    let e = v.exponent();
+    let min_e = v.min_exponent();
+    let p = v.precision();
+    let b = v.base();
+    let round = f.is_even(); // (let ([round? (even? f)])
+    if e >= 0 {
+        if *f != Nat::from(b).pow(p - 1) {
+            // (let ([be (expt b e)]) (scale (* f be 2) 2 be be 0 B round? round?))
+            let be = Nat::from(b).pow(e as u32);
+            scale(
+                (f * &be).mul_u64_ref(2),
+                Nat::from(2u64),
+                be.clone(),
+                be,
+                0,
+                big_b,
+                round,
+                round,
+            )
+        } else {
+            // (let* ([be (expt b e)] [be1 (* be b)])
+            //   (scale (* f be1 2) (* b 2) be1 be 0 B round? round?))
+            let be = Nat::from(b).pow(e as u32);
+            let be1 = be.mul_u64_ref(b);
+            scale(
+                (f * &be1).mul_u64_ref(2),
+                Nat::from(b * 2),
+                be1,
+                be,
+                0,
+                big_b,
+                round,
+                round,
+            )
+        }
+    } else if e == min_e || *f != Nat::from(b).pow(p - 1) {
+        // (scale (* f 2) (* (expt b (- e)) 2) 1 1 0 B round? round?)
+        scale(
+            f.mul_u64_ref(2),
+            Nat::from(b).pow(-e as u32).mul_u64_ref(2),
+            Nat::one(),
+            Nat::one(),
+            0,
+            big_b,
+            round,
+            round,
+        )
+    } else {
+        // (scale (* f b 2) (* (expt b (- 1 e)) 2) b 1 0 B round? round?)
+        scale(
+            f.mul_u64_ref(2 * b),
+            Nat::from(b).pow((1 - e) as u32).mul_u64_ref(2),
+            Nat::from(b),
+            Nat::one(),
+            0,
+            big_b,
+            round,
+            round,
+        )
+    }
+}
+
+/// Figure 1's `scale`: one power of `B` at a time, recursively.
+#[allow(clippy::too_many_arguments)]
+fn scale(
+    r: Nat,
+    s: Nat,
+    m_plus: Nat,
+    m_minus: Nat,
+    k: i32,
+    big_b: u64,
+    low_ok: bool,
+    high_ok: bool,
+) -> (i32, Vec<u8>) {
+    // [((if high-ok? >= >) (+ r m+) s) ; k is too low
+    let sum = &r + &m_plus;
+    let too_low = if high_ok { sum >= s } else { sum > s };
+    if too_low {
+        // (scale r (* s B) m+ m- (+ k 1) ...)
+        return scale(
+            r,
+            s.mul_u64_ref(big_b),
+            m_plus,
+            m_minus,
+            k + 1,
+            big_b,
+            low_ok,
+            high_ok,
+        );
+    }
+    // [((if high-ok? < <=) (* (+ r m+) B) s) ; k is too high
+    let sum_b = sum.mul_u64_ref(big_b);
+    let too_high = if high_ok { sum_b < s } else { sum_b <= s };
+    if too_high {
+        // (scale (* r B) s (* m+ B) (* m- B) (- k 1) ...)
+        return scale(
+            r.mul_u64_ref(big_b),
+            s,
+            m_plus.mul_u64_ref(big_b),
+            m_minus.mul_u64_ref(big_b),
+            k - 1,
+            big_b,
+            low_ok,
+            high_ok,
+        );
+    }
+    // [else (cons k (generate r s m+ m- B low-ok? high-ok?))]
+    (k, generate(r, &s, m_plus, m_minus, big_b, low_ok, high_ok))
+}
+
+/// Figure 1's `generate`: premultiply by `B`, divide, test, recurse.
+fn generate(
+    r: Nat,
+    s: &Nat,
+    m_plus: Nat,
+    m_minus: Nat,
+    big_b: u64,
+    low_ok: bool,
+    high_ok: bool,
+) -> Vec<u8> {
+    // (let ([q-r (quotient-remainder (* r B) s)] [m+ (* m+ B)] [m- (* m- B)])
+    let mut r = r.mul_u64_ref(big_b);
+    let d = r.div_rem_in_place_u64(s) as u8;
+    let m_plus = m_plus.mul_u64_ref(big_b);
+    let m_minus = m_minus.mul_u64_ref(big_b);
+    // (let ([tc1 ((if low-ok? <= <) r m-)] [tc2 ((if high-ok? >= >) (+ r m+) s)])
+    let tc1 = if low_ok { r <= m_minus } else { r < m_minus };
+    let sum = &r + &m_plus;
+    let tc2 = if high_ok { sum >= *s } else { sum > *s };
+    match (tc1, tc2) {
+        (false, false) => {
+            // (cons d (generate r s m+ m- ...))
+            let mut rest = vec![d];
+            rest.extend(generate(r, s, m_plus, m_minus, big_b, low_ok, high_ok));
+            rest
+        }
+        (false, true) => vec![d + 1], // (list (+ d 1))
+        (true, false) => vec![d],     // (list d)
+        (true, true) => {
+            // (if (< (* r 2) s) (list d) (list (+ d 1)))
+            if r.mul_u64_ref(2) < *s {
+                vec![d]
+            } else {
+                vec![d + 1]
+            }
+        }
+    }
+}
+
+/// Figure 2: scaling via the floating-point logarithm
+/// (`⌈log_B v − 1e-10⌉`) with a checked `fixup`. Returns `(k, digits)`.
+///
+/// ```
+/// use fpp_core::figures::fig2_flonum_to_digits;
+/// use fpp_float::SoftFloat;
+/// let v = SoftFloat::from_f64(1e23).expect("positive finite");
+/// assert_eq!(fig2_flonum_to_digits(&v, 10), (24, vec![1]));
+/// ```
+#[must_use]
+pub fn fig2_flonum_to_digits(v: &SoftFloat, big_b: u64) -> (i32, Vec<u8>) {
+    let (r, s, m_plus, m_minus, low_ok, high_ok) = initial(v);
+    // (let ([est (inexact->exact (ceiling (- (logB B v) 1e-10)))])
+    let log_b_v = log2_of(v) / (big_b as f64).log2();
+    let est = (log_b_v - 1e-10).ceil() as i32;
+    scale_estimated(r, s, m_plus, m_minus, est, big_b, low_ok, high_ok)
+}
+
+/// Figure 3: the two-flop estimator
+/// `⌈(e + len(f) − 1) · invlog2of(B) − 1e-10⌉` with the penalty-free
+/// `fixup`. Returns `(k, digits)`.
+///
+/// ```
+/// use fpp_core::figures::fig3_flonum_to_digits;
+/// use fpp_float::SoftFloat;
+/// let v = SoftFloat::from_f64(100.0).expect("positive finite");
+/// assert_eq!(fig3_flonum_to_digits(&v, 10), (3, vec![1]));
+/// ```
+#[must_use]
+pub fn fig3_flonum_to_digits(v: &SoftFloat, big_b: u64) -> (i32, Vec<u8>) {
+    let (r, s, m_plus, m_minus, low_ok, high_ok) = initial(v);
+    // (ceiling (- (* (+ e (len f) -1) (invlog2of B)) 1e-10))
+    let len_f = v.mantissa().bit_len() as f64;
+    let log2_b_in = (v.base() as f64).log2();
+    let invlog2of = 1.0 / (big_b as f64).log2();
+    let est = ((v.exponent() as f64 * log2_b_in + len_f - 1.0) * invlog2of - 1e-10).ceil() as i32;
+    scale_estimated(r, s, m_plus, m_minus, est, big_b, low_ok, high_ok)
+}
+
+/// Shared Table-1 initialisation for the estimate-based figures.
+fn initial(v: &SoftFloat) -> (Nat, Nat, Nat, Nat, bool, bool) {
+    let st = crate::scale::initial_state(v);
+    let round = v.mantissa_is_even();
+    (st.r, st.s, st.m_plus, st.m_minus, round, round)
+}
+
+/// Figures 2–3's `scale`+`fixup`: apply `B^est`, bump once if low, and
+/// enter the postmultiplying `generate` (Figure 3's shape, where a one-low
+/// estimate costs no extra multiplication).
+#[allow(clippy::too_many_arguments)]
+fn scale_estimated(
+    mut r: Nat,
+    mut s: Nat,
+    mut m_plus: Nat,
+    mut m_minus: Nat,
+    est: i32,
+    big_b: u64,
+    low_ok: bool,
+    high_ok: bool,
+) -> (i32, Vec<u8>) {
+    if est >= 0 {
+        s = &s * &Nat::from(big_b).pow(est as u32); // (* s (exptt B est))
+    } else {
+        let scale = Nat::from(big_b).pow(-est as u32);
+        r = &r * &scale;
+        m_plus = &m_plus * &scale;
+        m_minus = &m_minus * &scale;
+    }
+    // fixup: (if ((if high-ok? >= >) (+ r m+) s) ; too low?
+    let sum = &r + &m_plus;
+    let too_low = if high_ok { sum >= s } else { sum > s };
+    if too_low {
+        // (cons (+ k 1) (generate r s m+ m- ...))  — postmultiplying form
+        (
+            est + 1,
+            generate_postmul(r, &s, m_plus, m_minus, big_b, low_ok, high_ok),
+        )
+    } else {
+        // (cons k (generate (* r B) s (* m+ B) (* m- B) ...))
+        (
+            est,
+            generate_postmul(
+                r.mul_u64_ref(big_b),
+                &s,
+                m_plus.mul_u64_ref(big_b),
+                m_minus.mul_u64_ref(big_b),
+                big_b,
+                low_ok,
+                high_ok,
+            ),
+        )
+    }
+}
+
+/// Figure 3's `generate`: divide first, multiply on the recursive call.
+fn generate_postmul(
+    mut r: Nat,
+    s: &Nat,
+    m_plus: Nat,
+    m_minus: Nat,
+    big_b: u64,
+    low_ok: bool,
+    high_ok: bool,
+) -> Vec<u8> {
+    // (let ([q-r (quotient-remainder r s)])
+    let d = r.div_rem_in_place_u64(s) as u8;
+    let tc1 = if low_ok { r <= m_minus } else { r < m_minus };
+    let sum = &r + &m_plus;
+    let tc2 = if high_ok { sum >= *s } else { sum > *s };
+    match (tc1, tc2) {
+        (false, false) => {
+            // (cons d (generate (* r B) s (* m+ B) (* m- B) ...))
+            let mut rest = vec![d];
+            rest.extend(generate_postmul(
+                r.mul_u64_ref(big_b),
+                s,
+                m_plus.mul_u64_ref(big_b),
+                m_minus.mul_u64_ref(big_b),
+                big_b,
+                low_ok,
+                high_ok,
+            ));
+            rest
+        }
+        (false, true) => vec![d + 1],
+        (true, false) => vec![d],
+        (true, true) => {
+            if r.mul_u64_ref(2) < *s {
+                vec![d]
+            } else {
+                vec![d + 1]
+            }
+        }
+    }
+}
+
+/// Figure 2's `log2_of` helper (overflow-free `log₂ v`).
+fn log2_of(v: &SoftFloat) -> f64 {
+    let f = v.mantissa();
+    let bits = f.bit_len();
+    let (top, shift) = if bits <= 53 {
+        (f.to_f64_lossy(), 0i64)
+    } else {
+        let sh = bits - 53;
+        ((f >> u32::try_from(sh).expect("fits")).to_f64_lossy(), sh as i64)
+    };
+    top.log2() + shift as f64 + v.exponent() as f64 * (v.base() as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{free_format_digits, ScalingStrategy, TieBreak};
+    use fpp_bignum::PowerTable;
+    use fpp_float::RoundingMode;
+
+    fn pipeline(v: &SoftFloat, base: u64) -> (i32, Vec<u8>) {
+        let mut powers = PowerTable::new(base);
+        let d = free_format_digits(
+            v,
+            ScalingStrategy::Estimate,
+            RoundingMode::NearestEven,
+            TieBreak::Up,
+            &mut powers,
+        );
+        (d.k, d.digits)
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)]
+    fn figures_agree_with_pipeline() {
+        for &x in &[
+            0.1,
+            0.3,
+            1.0,
+            2.5,
+            1e23,
+            9.999999999999999e22,
+            1e-300,
+            1e300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            std::f64::consts::PI,
+        ] {
+            let v = SoftFloat::from_f64(x).unwrap();
+            for base in [10u64, 2, 16] {
+                let expect = pipeline(&v, base);
+                assert_eq!(fig1_flonum_to_digits(&v, base), expect, "fig1 {x} base {base}");
+                assert_eq!(fig2_flonum_to_digits(&v, base), expect, "fig2 {x} base {base}");
+                assert_eq!(fig3_flonum_to_digits(&v, base), expect, "fig3 {x} base {base}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_outputs_match_paper_examples() {
+        let v = SoftFloat::from_f64(1e23).unwrap();
+        assert_eq!(fig1_flonum_to_digits(&v, 10), (24, vec![1]));
+        let v = SoftFloat::from_f64(0.3).unwrap();
+        assert_eq!(fig3_flonum_to_digits(&v, 10), (0, vec![3]));
+    }
+
+    #[test]
+    fn figures_agree_on_random_sweep() {
+        let mut state: u64 = 99;
+        for _ in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = f64::from_bits(state & 0x7FFF_FFFF_FFFF_FFFF);
+            if !x.is_finite() || x == 0.0 {
+                continue;
+            }
+            let v = SoftFloat::from_f64(x).unwrap();
+            let expect = pipeline(&v, 10);
+            assert_eq!(fig1_flonum_to_digits(&v, 10), expect, "fig1 {x}");
+            assert_eq!(fig2_flonum_to_digits(&v, 10), expect, "fig2 {x}");
+            assert_eq!(fig3_flonum_to_digits(&v, 10), expect, "fig3 {x}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Free-format printing: the shortest, correctly rounded digit string that
+//! reads back as the original value (§2–§3).
+
+use crate::generate::{generate_free, Digits, Inclusivity, TieBreak};
+use crate::scale::{initial_state, ScalingStrategy};
+use fpp_bignum::{Nat, PowerTable};
+use fpp_float::{RoundingMode, SoftFloat};
+
+/// Derives the endpoint-inclusivity flags for a value under a reader
+/// rounding mode, adjusting the half-gap numerators for the directed modes
+/// (whose rounding ranges are `[v, v⁺)` / `(v⁻, v]` rather than the
+/// midpoint-to-midpoint interval).
+pub(crate) fn apply_rounding_mode(
+    state: &mut crate::scale::InitialState,
+    v: &SoftFloat,
+    mode: RoundingMode,
+) -> Inclusivity {
+    match mode {
+        RoundingMode::NearestEven => {
+            let ok = v.mantissa_is_even();
+            Inclusivity {
+                low_ok: ok,
+                high_ok: ok,
+            }
+        }
+        RoundingMode::NearestAwayFromZero => Inclusivity {
+            low_ok: true,
+            high_ok: false,
+        },
+        RoundingMode::NearestTowardZero => Inclusivity {
+            low_ok: false,
+            high_ok: true,
+        },
+        RoundingMode::Conservative => Inclusivity {
+            low_ok: false,
+            high_ok: false,
+        },
+        RoundingMode::TowardZero => {
+            // Range [v, v⁺): everything at or above v up to the successor.
+            state.m_plus.mul_u64(2);
+            state.m_minus = Nat::zero();
+            Inclusivity {
+                low_ok: true,
+                high_ok: false,
+            }
+        }
+        RoundingMode::AwayFromZero => {
+            // Range (v⁻, v]: everything above the predecessor up to v.
+            state.m_minus.mul_u64(2);
+            state.m_plus = Nat::zero();
+            Inclusivity {
+                low_ok: false,
+                high_ok: true,
+            }
+        }
+    }
+}
+
+/// Produces the shortest, correctly rounded free-format digits of a positive
+/// value, using the optimized integer pipeline of §3.
+///
+/// `powers` is the memoised table of powers of the output base
+/// (`powers.base()` is the output base `B`); reusing one table across calls
+/// amortises the cost of the large powers, as the paper's implementation
+/// does with its `10ᵏ` table.
+///
+/// ```
+/// use fpp_bignum::PowerTable;
+/// use fpp_core::{free_format_digits, ScalingStrategy, TieBreak};
+/// use fpp_float::{RoundingMode, SoftFloat};
+///
+/// let v = SoftFloat::from_f64(0.3).expect("positive finite");
+/// let mut powers = PowerTable::new(10);
+/// let d = free_format_digits(
+///     &v,
+///     ScalingStrategy::Estimate,
+///     RoundingMode::NearestEven,
+///     TieBreak::Up,
+///     &mut powers,
+/// );
+/// assert_eq!((d.digits.as_slice(), d.k), ([3u8].as_slice(), 0));
+/// ```
+#[must_use]
+pub fn free_format_digits(
+    v: &SoftFloat,
+    strategy: ScalingStrategy,
+    rounding: RoundingMode,
+    tie: TieBreak,
+    powers: &mut PowerTable,
+) -> Digits {
+    let mut state = initial_state(v);
+    let inc = apply_rounding_mode(&mut state, v, rounding);
+    let scaled = strategy.scale(state, v, inc.high_ok, powers);
+    generate_free(scaled, powers.base(), inc, tie)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digits(v: f64, mode: RoundingMode) -> Digits {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let mut powers = PowerTable::new(10);
+        free_format_digits(
+            &sf,
+            ScalingStrategy::Estimate,
+            mode,
+            TieBreak::Up,
+            &mut powers,
+        )
+    }
+
+    #[test]
+    fn nearest_even_uses_endpoints_for_even_mantissas() {
+        // The paper's flagship example (§3.1).
+        let d = digits(1e23, RoundingMode::NearestEven);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 24));
+        let d = digits(1e23, RoundingMode::Conservative);
+        assert_eq!(d.digits.len(), 16);
+    }
+
+    #[test]
+    fn directed_toward_zero_mode() {
+        // Reading "1" with truncation yields exactly 1.0; shortest is "1".
+        let d = digits(1.0, RoundingMode::TowardZero);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 1));
+        // 0.1 is stored slightly above 1/10; under truncation the string
+        // must not be below the stored value, so "0.1" is not acceptable.
+        let d = digits(0.1, RoundingMode::TowardZero);
+        assert!(d.digits.len() > 1, "{:?}", d);
+        // Verify the produced decimal is >= the stored value and < successor.
+        let decimal: f64 = {
+            let mut s = String::from("0.");
+            for &x in &d.digits {
+                s.push((b'0' + x) as char);
+            }
+            s.parse().unwrap()
+        };
+        assert!(decimal >= 0.1);
+    }
+
+    #[test]
+    fn directed_away_from_zero_mode() {
+        let d = digits(1.0, RoundingMode::AwayFromZero);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 1));
+        // 0.3 is stored slightly below 3/10; away-from-zero reads "0.3" as
+        // the next float up, so the printer needs more digits.
+        let d = digits(0.3, RoundingMode::AwayFromZero);
+        assert!(d.digits.len() > 1);
+    }
+
+    #[test]
+    fn nearest_tie_direction_modes() {
+        // For ordinary values all nearest modes agree.
+        for mode in [
+            RoundingMode::NearestEven,
+            RoundingMode::NearestAwayFromZero,
+            RoundingMode::NearestTowardZero,
+            RoundingMode::Conservative,
+        ] {
+            let d = digits(0.3, mode);
+            assert_eq!((d.digits.as_slice(), d.k), ([3].as_slice(), 0), "{mode:?}");
+        }
+        // 1e23's upper boundary is the decimal 1e23 itself: usable when the
+        // reader rounds ties toward zero (1e23 → our v), not when away.
+        let d = digits(1e23, RoundingMode::NearestTowardZero);
+        assert_eq!(d.digits.as_slice(), [1]);
+        let d = digits(1e23, RoundingMode::NearestAwayFromZero);
+        assert_eq!(d.digits.len(), 16);
+    }
+}

@@ -1,0 +1,284 @@
+//! The digit-generation loop (§2.2 step 3–4, in the integer form of §3.1).
+//!
+//! On entry the scaled state satisfies `r/s = v/B^(k-1)`; each iteration
+//! extracts one digit `d = ⌊r/s⌋`, replaces `r` by the remainder, and tests
+//! the two termination conditions:
+//!
+//! * `tc1`: `r (< | ≤) m⁻` — the digits emitted so far already round up
+//!   to `v` when read back (the output is above `low`);
+//! * `tc2`: `r + m⁺ (> | ≥) s` — incrementing the last digit would produce a
+//!   number below `high` that still reads back as `v`.
+//!
+//! The loop stops at the first position where either holds, choosing the
+//! closer of the two candidate outputs (ties broken by [`TieBreak`]).
+//! Theorem 1 guarantees the produced digits are valid, the increment never
+//! carries, and (after a possible increment of a leading 0 to 1) the first
+//! digit is non-zero.
+
+use crate::scale::ScaledState;
+
+/// Tie-breaking strategy for the final digit when both candidate outputs are
+/// exactly equidistant from `v` (§2.2 permits any choice; Figure 1 rounds
+/// up, which is the default here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Prefer the incremented final digit (Figure 1's behaviour).
+    #[default]
+    Up,
+    /// Prefer the unincremented final digit.
+    Down,
+    /// Prefer whichever final digit is even.
+    Even,
+}
+
+impl TieBreak {
+    /// Whether a tie at final digit `d` should round up to `d + 1`.
+    fn rounds_up(self, d: u8) -> bool {
+        match self {
+            TieBreak::Up => true,
+            TieBreak::Down => false,
+            TieBreak::Even => d % 2 == 1,
+        }
+    }
+}
+
+/// The endpoint-inclusivity flags derived from the reader's rounding mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inclusivity {
+    /// `low` itself reads back as `v` (termination condition 1 admits
+    /// equality).
+    pub low_ok: bool,
+    /// `high` itself reads back as `v` (termination condition 2 admits
+    /// equality).
+    pub high_ok: bool,
+}
+
+/// Digits produced by free-format generation: the shortest, correctly
+/// rounded representation `0.d₁d₂…dₙ × Bᵏ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digits {
+    /// Base-`B` digit values (not ASCII), most significant first; the first
+    /// digit is non-zero.
+    pub digits: Vec<u8>,
+    /// Scale: the value reads `0.d₁d₂… × Bᵏ`.
+    pub k: i32,
+}
+
+/// How free-format generation left the loop — consumed by fixed-format
+/// padding to decide which trailing positions remain significant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LoopExit {
+    /// Digits emitted (with any final increment applied).
+    pub digits: Vec<u8>,
+    /// Numerator of `high − V` in units of `B^(k-n)/s`:
+    /// `r + m⁺` when the final digit was kept, `r + m⁺ − s` when it was
+    /// incremented.
+    pub gap_to_high: fpp_bignum::Nat,
+    /// The loop's denominator.
+    pub s: fpp_bignum::Nat,
+}
+
+/// Runs the digit loop on a scaled state. Returns the digits and the final
+/// gap data (for fixed-format padding).
+pub(crate) fn generate(state: ScaledState, base: u64, inc: Inclusivity, tie: TieBreak) -> LoopExit {
+    debug_assert!((2..=36).contains(&base));
+    let ScaledState {
+        mut r,
+        s,
+        mut m_plus,
+        mut m_minus,
+        ..
+    } = state;
+    let mut digits: Vec<u8> = Vec::with_capacity(20);
+    loop {
+        let d = r.div_rem_in_place_u64(&s) as u8;
+        debug_assert!((d as u64) < base, "digit out of range");
+        let tc1 = if inc.low_ok { r <= m_minus } else { r < m_minus };
+        let tc2 = {
+            let sum = &r + &m_plus;
+            if inc.high_ok {
+                sum >= s
+            } else {
+                sum > s
+            }
+        };
+        match (tc1, tc2) {
+            (false, false) => {
+                digits.push(d);
+                r.mul_u64(base);
+                m_plus.mul_u64(base);
+                m_minus.mul_u64(base);
+            }
+            (true, false) => {
+                digits.push(d);
+                return LoopExit {
+                    digits,
+                    gap_to_high: r + m_plus,
+                    s,
+                };
+            }
+            (false, true) => {
+                digits.push(d + 1);
+                debug_assert!(((d + 1) as u64) < base, "increment carried (Theorem 1)");
+                return LoopExit {
+                    digits,
+                    gap_to_high: (r + m_plus) - &s,
+                    s,
+                };
+            }
+            (true, true) => {
+                // Both candidates read back as v; pick the closer
+                // (2r vs s compares v − V_down against V_up − v).
+                let r2 = r.mul_u64_ref(2);
+                let round_up = match r2.cmp(&s) {
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => tie.rounds_up(d),
+                };
+                let gap_to_high = if round_up {
+                    digits.push(d + 1);
+                    debug_assert!(((d + 1) as u64) < base, "increment carried (Theorem 1)");
+                    (r + m_plus) - &s
+                } else {
+                    digits.push(d);
+                    r + m_plus
+                };
+                return LoopExit {
+                    digits,
+                    gap_to_high,
+                    s,
+                };
+            }
+        }
+    }
+}
+
+/// Runs free-format generation and packages the result.
+pub(crate) fn generate_free(
+    state: ScaledState,
+    base: u64,
+    inc: Inclusivity,
+    tie: TieBreak,
+) -> Digits {
+    let k = state.k;
+    let exit = generate(state, base, inc, tie);
+    debug_assert!(
+        exit.digits.first().is_some_and(|&d| d != 0),
+        "first digit must be non-zero (Theorem 1)"
+    );
+    Digits {
+        digits: exit.digits,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::{initial_state, ScalingStrategy};
+    use fpp_bignum::PowerTable;
+    use fpp_float::SoftFloat;
+
+    fn free_digits(v: f64, base: u64, inc: Inclusivity) -> Digits {
+        let sf = SoftFloat::from_f64(v).expect("positive finite");
+        let mut powers = PowerTable::new(base);
+        let st = ScalingStrategy::Estimate.scale(initial_state(&sf), &sf, inc.high_ok, &mut powers);
+        generate_free(st, base, inc, TieBreak::Up)
+    }
+
+    const EXCLUSIVE: Inclusivity = Inclusivity {
+        low_ok: false,
+        high_ok: false,
+    };
+    const INCLUSIVE: Inclusivity = Inclusivity {
+        low_ok: true,
+        high_ok: true,
+    };
+
+    #[test]
+    fn known_shortest_digits() {
+        // 0.3 → digits [3], k = 0 (0.3 × 10^0)
+        let d = free_digits(0.3, 10, EXCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([3].as_slice(), 0));
+        // 1.0 → [1], k = 1
+        let d = free_digits(1.0, 10, EXCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 1));
+        // 100.0 → [1], k = 3
+        let d = free_digits(100.0, 10, EXCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 3));
+        // 0.1 → [1], k = 0
+        let d = free_digits(0.1, 10, EXCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 0));
+    }
+
+    #[test]
+    fn paper_example_1e23() {
+        // 10^23 lies exactly between two doubles; the nearer-even mantissa
+        // is the one 10^23 rounds to, so with unbiased input rounding the
+        // printer may use the endpoint: digits [1], k = 24.
+        let v = 1e23f64;
+        let sf = SoftFloat::from_f64(v).unwrap();
+        assert!(sf.mantissa_is_even());
+        let d = free_digits(v, 10, INCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 24));
+        // Without endpoint knowledge the printer must stay strictly inside:
+        // 9.999999999999999e22 (16 digits).
+        let d = free_digits(v, 10, EXCLUSIVE);
+        assert_eq!(d.k, 23);
+        assert_eq!(d.digits, vec![9; 16]);
+    }
+
+    #[test]
+    fn exact_halves_terminate_with_tie() {
+        // 0.5 = 1/2 exactly: digits [5], k = 0 in base 10.
+        let d = free_digits(0.5, 10, EXCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([5].as_slice(), 0));
+        // In base 2 it is a single digit: 0.1₂ × 2^0.
+        let d = free_digits(0.5, 2, EXCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([1].as_slice(), 0));
+    }
+
+    #[test]
+    fn base16_digits() {
+        // 255.0 = ff₁₆: digits [15, 15], k = 2.
+        let d = free_digits(255.0, 16, EXCLUSIVE);
+        assert_eq!((d.digits.as_slice(), d.k), ([15, 15].as_slice(), 2));
+    }
+
+    #[test]
+    fn tie_break_strategies_differ_only_on_ties() {
+        // 2.5 in base 10 at one digit: candidates 2 and 3 equidistant when
+        // the value is exactly 2.5 and both in range? 2.5's shortest is
+        // "2.5" (exact), so no tie: all strategies agree.
+        for tie in [TieBreak::Up, TieBreak::Down, TieBreak::Even] {
+            let sf = SoftFloat::from_f64(2.5).unwrap();
+            let mut powers = PowerTable::new(10);
+            let st =
+                ScalingStrategy::Estimate.scale(initial_state(&sf), &sf, false, &mut powers);
+            let d = generate_free(st, 10, EXCLUSIVE, tie);
+            assert_eq!((d.digits.as_slice(), d.k), ([2, 5].as_slice(), 1));
+        }
+    }
+
+    #[test]
+    fn first_digit_non_zero_across_magnitudes() {
+        for &v in &[
+            f64::from_bits(1),
+            f64::MIN_POSITIVE,
+            1e-300,
+            0.007,
+            42.0,
+            1e300,
+            f64::MAX,
+        ] {
+            for base in [2u64, 10, 36] {
+                let d = free_digits(v, base, EXCLUSIVE);
+                assert!(d.digits[0] != 0, "leading zero for {v} base {base}");
+                assert!(
+                    d.digits.iter().all(|&x| (x as u64) < base),
+                    "digit out of range for {v} base {base}"
+                );
+            }
+        }
+    }
+}

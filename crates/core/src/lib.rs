@@ -1,0 +1,590 @@
+//! The Burger–Dybvig floating-point printing algorithm (PLDI 1996).
+//!
+//! This crate implements *Printing Floating-Point Numbers Quickly and
+//! Accurately* in full: free-format output (the shortest, correctly rounded
+//! string that reads back as the same float, §2–§3), fixed-format output
+//! with `#` marks for insignificant digits (§4), input-rounding-mode
+//! awareness (§3.1), and the fast scaling estimator with its penalty-free
+//! fixup (§3.2) alongside the baseline scaling strategies of Table 2.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fpp_core::{print_shortest, FixedFormat, FreeFormat};
+//!
+//! // Shortest round-tripping output:
+//! assert_eq!(print_shortest(0.3), "0.3");
+//! assert_eq!(print_shortest(1e23), "1e23");
+//! assert_eq!(print_shortest(f64::MAX), "1.7976931348623157e308");
+//!
+//! // Fixed format to 20 fractional places: the float 1/3 runs out of
+//! // precision and the tail is marked, never fabricated:
+//! let s = FixedFormat::new().fraction_digits(20).format(1.0 / 3.0);
+//! assert_eq!(s, "0.33333333333333330###");
+//!
+//! // Other bases, rounding modes and notations via the builders:
+//! use fpp_core::Notation;
+//! use fpp_float::RoundingMode;
+//! let hex = FreeFormat::new().base(16).notation(Notation::Positional);
+//! assert_eq!(hex.format(255.0), "ff");
+//! let wary = FreeFormat::new().rounding(RoundingMode::Conservative);
+//! assert_eq!(wary.format(1e23), "9.999999999999999e22");
+//! ```
+//!
+//! # Architecture
+//!
+//! * [`initial_state`] — Table 1: the value and its rounding range as
+//!   big-integer ratios.
+//! * [`ScalingStrategy`] / [`Scaler`] — §3.2: find the scaling factor `k`
+//!   ([`EstimateScaler`] is the paper's contribution; [`IterativeScaler`],
+//!   [`LogScaler`], [`GayScaler`] are the comparison points of Table 2).
+//! * [`free_format_digits`] / [`fixed_format_digits_absolute`] /
+//!   [`fixed_format_digits_relative`] — the digit-generation engines
+//!   (explicit [`fpp_bignum::PowerTable`] for amortised reuse).
+//! * [`free_digits_exact`] — §2.2's rational-arithmetic reference oracle.
+//! * [`render`] / [`render_fixed`] / [`Notation`] — digit-to-text layout.
+//! * [`FreeFormat`] / [`FixedFormat`] — high-level builders over the above
+//!   (thread-local power caches, sign/zero/NaN handling).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exact;
+pub mod figures;
+mod fixed;
+mod free;
+mod generate;
+mod notation;
+mod scale;
+mod stream;
+
+pub use exact::{fixed_digits_exact, free_digits_exact};
+pub use fixed::{
+    fixed_format_digits_absolute, fixed_format_digits_relative, FixedDigits, FixedPrecision,
+};
+pub use free::free_format_digits;
+pub use generate::{Digits, Inclusivity, TieBreak};
+pub use notation::{
+    exponent_marker, render, render_fixed, render_fixed_in_base, render_fixed_styled,
+    render_in_base, render_styled, ExponentStyle, Notation, RenderOptions,
+};
+pub use stream::DigitStream;
+pub use scale::{
+    estimate_k, initial_state, EstimateScaler, GayScaler, InitialState, IterativeScaler,
+    LogScaler, ScaledState, Scaler, ScalingStrategy,
+};
+
+use fpp_bignum::PowerTable;
+use fpp_float::{Decoded, FloatFormat, RoundingMode, SoftFloat};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+thread_local! {
+    /// Per-thread memoised powers of each output base, mirroring the
+    /// paper's persistent `10^k` table (Figure 2).
+    static POWER_TABLES: RefCell<HashMap<u64, PowerTable>> = RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with this thread's cached [`PowerTable`] for `base` — the
+/// memoised `Bᵏ` table shared by all conversions on the thread (the paper's
+/// Figure 2 persistent `10ᵏ` table). Exposed so downstream layers (e.g. the
+/// facade's printf module) can amortise powers the same way the built-in
+/// formatters do.
+pub fn with_thread_powers<R>(base: u64, f: impl FnOnce(&mut PowerTable) -> R) -> R {
+    POWER_TABLES.with(|tables| {
+        let mut tables = tables.borrow_mut();
+        let table = tables.entry(base).or_insert_with(|| PowerTable::new(base));
+        f(table)
+    })
+}
+
+/// Text used for the values the digit pipeline never sees.
+fn special_str(decoded: Decoded) -> Option<&'static str> {
+    match decoded {
+        Decoded::Nan => Some("NaN"),
+        Decoded::Infinite { negative: false } => Some("inf"),
+        Decoded::Infinite { negative: true } => Some("-inf"),
+        Decoded::Zero { negative: false } => Some("0"),
+        Decoded::Zero { negative: true } => Some("-0"),
+        Decoded::Finite { .. } => None,
+    }
+}
+
+/// Prints an `f64` in free format: the shortest base-10 string that reads
+/// back as exactly the same value under IEEE round-to-nearest-even input.
+///
+/// Equivalent to `FreeFormat::new().format(v)`.
+///
+/// ```
+/// assert_eq!(fpp_core::print_shortest(0.1), "0.1");
+/// assert_eq!(fpp_core::print_shortest(-1.5), "-1.5");
+/// assert_eq!(fpp_core::print_shortest(f64::NAN), "NaN");
+/// ```
+#[must_use]
+pub fn print_shortest(v: f64) -> String {
+    FreeFormat::new().format(v)
+}
+
+/// Prints an `f64` in free format in an arbitrary output base (2–36).
+///
+/// ```
+/// assert_eq!(fpp_core::print_shortest_base(0.5, 2), "0.1");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `base` is outside `2..=36`.
+#[must_use]
+pub fn print_shortest_base(v: f64, base: u64) -> String {
+    FreeFormat::new().base(base).format(v)
+}
+
+/// Builder for free-format (shortest round-tripping) printing.
+///
+/// The default prints base-10, assumes an IEEE round-to-nearest-even reader,
+/// breaks printer ties upward, and chooses positional or scientific notation
+/// automatically.
+///
+/// ```
+/// use fpp_core::{FreeFormat, Notation, TieBreak};
+/// use fpp_float::RoundingMode;
+///
+/// let fmt = FreeFormat::new()
+///     .base(10)
+///     .rounding(RoundingMode::NearestEven)
+///     .tie_break(TieBreak::Even)
+///     .notation(Notation::Scientific);
+/// assert_eq!(fmt.format(1234.0), "1.234e3");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreeFormat {
+    base: u64,
+    strategy: ScalingStrategy,
+    rounding: RoundingMode,
+    tie: TieBreak,
+    notation: Notation,
+    style: RenderOptions,
+}
+
+impl Default for FreeFormat {
+    fn default() -> Self {
+        FreeFormat::new()
+    }
+}
+
+impl FreeFormat {
+    /// Creates the default free-format printer (see type docs).
+    #[must_use]
+    pub fn new() -> Self {
+        FreeFormat {
+            base: 10,
+            strategy: ScalingStrategy::Estimate,
+            rounding: RoundingMode::NearestEven,
+            tie: TieBreak::Up,
+            notation: Notation::default(),
+            style: RenderOptions::default(),
+        }
+    }
+
+    /// Sets cosmetic rendering options (exponent style, separators,
+    /// grouping).
+    ///
+    /// ```
+    /// use fpp_core::{ExponentStyle, FreeFormat, RenderOptions};
+    /// let fmt = FreeFormat::new().style(RenderOptions {
+    ///     exponent_style: ExponentStyle::PrintfSigned,
+    ///     ..RenderOptions::default()
+    /// });
+    /// assert_eq!(fmt.format(1e23), "1e+23");
+    /// ```
+    #[must_use]
+    pub fn style(mut self, style: RenderOptions) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Sets the output base (2–36).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is outside `2..=36`.
+    #[must_use]
+    pub fn base(mut self, base: u64) -> Self {
+        assert!((2..=36).contains(&base), "output base must be in 2..=36");
+        self.base = base;
+        self
+    }
+
+    /// Sets the scaling strategy (the default, [`ScalingStrategy::Estimate`],
+    /// is the paper's fast estimator; the others exist for benchmarking).
+    #[must_use]
+    pub fn strategy(mut self, strategy: ScalingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the rounding mode the eventual *reader* is assumed to use.
+    #[must_use]
+    pub fn rounding(mut self, rounding: RoundingMode) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// Sets the printer's tie-breaking rule for an equidistant final digit.
+    #[must_use]
+    pub fn tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// Sets the text layout.
+    #[must_use]
+    pub fn notation(mut self, notation: Notation) -> Self {
+        self.notation = notation;
+        self
+    }
+
+    /// Produces the digit data for a positive value (no sign or layout
+    /// applied).
+    #[must_use]
+    pub fn digits(&self, v: &SoftFloat) -> Digits {
+        with_thread_powers(self.base, |powers| {
+            free_format_digits(v, self.strategy, self.rounding, self.tie, powers)
+        })
+    }
+
+    /// Formats any float implementing [`FloatFormat`] (`f32`, `f64`),
+    /// including signs, zeros, infinities and NaN.
+    #[must_use]
+    pub fn format_float<F: FloatFormat>(&self, v: F) -> String {
+        let decoded = v.decode();
+        if let Some(s) = special_str(decoded) {
+            return s.to_string();
+        }
+        let (negative, mantissa, exponent) = decoded.finite_parts().expect("finite");
+        let sf = SoftFloat::new(
+            fpp_bignum::Nat::from(mantissa),
+            exponent,
+            2,
+            F::PRECISION,
+            F::MIN_EXP,
+        )
+        .expect("decoded floats satisfy the invariants");
+        let digits = self.digits(&sf);
+        let body = render_styled(&digits, self.notation, self.base, &self.style);
+        if negative {
+            format!("-{body}")
+        } else {
+            body
+        }
+    }
+
+    /// Formats an `f64`.
+    #[must_use]
+    pub fn format(&self, v: f64) -> String {
+        self.format_float(v)
+    }
+
+    /// Formats an `f32` (with `f32` boundaries: `0.1f32` prints as `0.1`,
+    /// not as the 17-digit expansion of its exact value).
+    #[must_use]
+    pub fn format_f32(&self, v: f32) -> String {
+        self.format_float(v)
+    }
+}
+
+/// Builder for fixed-format printing with `#` marks.
+///
+/// The default prints base-10 with 17 significant digits (the minimum that
+/// distinguishes all IEEE doubles, used by the paper's Table 3), positional
+/// or scientific notation chosen automatically, and `#` marks enabled.
+///
+/// ```
+/// use fpp_core::FixedFormat;
+///
+/// let f = FixedFormat::new().significant_digits(3);
+/// assert_eq!(f.format(123.456), "123");
+/// assert_eq!(f.format(0.000987654), "0.000988");
+/// assert_eq!(f.format(-2.5), "-2.50"); // exact: trailing zero significant
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedFormat {
+    base: u64,
+    strategy: ScalingStrategy,
+    precision: FixedPrecision,
+    tie: TieBreak,
+    notation: Notation,
+    hash_marks: bool,
+    style: RenderOptions,
+}
+
+impl Default for FixedFormat {
+    fn default() -> Self {
+        FixedFormat::new()
+    }
+}
+
+impl FixedFormat {
+    /// Creates the default fixed-format printer (see type docs).
+    #[must_use]
+    pub fn new() -> Self {
+        FixedFormat {
+            base: 10,
+            strategy: ScalingStrategy::Estimate,
+            precision: FixedPrecision::SignificantDigits(17),
+            tie: TieBreak::Up,
+            notation: Notation::default(),
+            hash_marks: true,
+            style: RenderOptions::default(),
+        }
+    }
+
+    /// Sets cosmetic rendering options (exponent style, separators,
+    /// grouping).
+    #[must_use]
+    pub fn style(mut self, style: RenderOptions) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Sets the output base (2–36).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is outside `2..=36`.
+    #[must_use]
+    pub fn base(mut self, base: u64) -> Self {
+        assert!((2..=36).contains(&base), "output base must be in 2..=36");
+        self.base = base;
+        self
+    }
+
+    /// Sets the scaling strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: ScalingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Requests `count` significant digits (relative mode, §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at format time) if `count == 0` or `count > 2²⁴`.
+    #[must_use]
+    pub fn significant_digits(mut self, count: u32) -> Self {
+        assert!(count >= 1, "significant digit count must be >= 1");
+        self.precision = FixedPrecision::SignificantDigits(count);
+        self
+    }
+
+    /// Requests digits down to `count` fractional places (absolute position
+    /// `-count`), like `printf("%.*f", count, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 2²⁴` (position arithmetic would overflow long
+    /// before any practical use).
+    #[must_use]
+    pub fn fraction_digits(mut self, count: u32) -> Self {
+        assert!(count <= 1 << 24, "fraction digit count above 2^24");
+        self.precision = FixedPrecision::AbsolutePosition(-(count as i32));
+        self
+    }
+
+    /// Stops output at the digit of weight `base^position` (absolute mode,
+    /// §4).
+    #[must_use]
+    pub fn absolute_position(mut self, position: i32) -> Self {
+        self.precision = FixedPrecision::AbsolutePosition(position);
+        self
+    }
+
+    /// Sets the tie-breaking rule for a value exactly halfway between two
+    /// representable outputs.
+    #[must_use]
+    pub fn tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// Sets the text layout.
+    #[must_use]
+    pub fn notation(mut self, notation: Notation) -> Self {
+        self.notation = notation;
+        self
+    }
+
+    /// Enables or disables `#` marks; when disabled, insignificant
+    /// positions are printed as zeros (the conventional choice of `printf`).
+    #[must_use]
+    pub fn hash_marks(mut self, enabled: bool) -> Self {
+        self.hash_marks = enabled;
+        self
+    }
+
+    /// Produces the digit data for a positive value (no sign or layout
+    /// applied).
+    #[must_use]
+    pub fn digits(&self, v: &SoftFloat) -> FixedDigits {
+        with_thread_powers(self.base, |powers| match self.precision {
+            FixedPrecision::AbsolutePosition(j) => {
+                fixed_format_digits_absolute(v, j, self.strategy, self.tie, powers)
+            }
+            FixedPrecision::SignificantDigits(i) => {
+                fixed_format_digits_relative(v, i, self.strategy, self.tie, powers)
+            }
+        })
+    }
+
+    /// Formats any float implementing [`FloatFormat`], including signs,
+    /// zeros, infinities and NaN.
+    #[must_use]
+    pub fn format_float<F: FloatFormat>(&self, v: F) -> String {
+        let decoded = v.decode();
+        if let Some(s) = special_str(decoded) {
+            return s.to_string();
+        }
+        let (negative, mantissa, exponent) = decoded.finite_parts().expect("finite");
+        let sf = SoftFloat::new(
+            fpp_bignum::Nat::from(mantissa),
+            exponent,
+            2,
+            F::PRECISION,
+            F::MIN_EXP,
+        )
+        .expect("decoded floats satisfy the invariants");
+        let digits = self.digits(&sf);
+        let mut body = render_fixed_styled(&digits, self.notation, self.base, &self.style);
+        if !self.hash_marks {
+            body = body.replace('#', "0");
+        }
+        if negative {
+            format!("-{body}")
+        } else {
+            body
+        }
+    }
+
+    /// Formats an `f64`.
+    #[must_use]
+    pub fn format(&self, v: f64) -> String {
+        self.format_float(v)
+    }
+
+    /// Formats an `f32` with `f32` boundaries — the paper's `#`-mark example
+    /// `1/3 → 0.3333333###` is single-precision.
+    #[must_use]
+    pub fn format_f32(&self, v: f32) -> String {
+        self.format_float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_shortest_basics() {
+        assert_eq!(print_shortest(0.3), "0.3");
+        assert_eq!(print_shortest(-0.3), "-0.3");
+        assert_eq!(print_shortest(3.0), "3");
+        assert_eq!(print_shortest(0.0), "0");
+        assert_eq!(print_shortest(-0.0), "-0");
+        assert_eq!(print_shortest(f64::INFINITY), "inf");
+        assert_eq!(print_shortest(f64::NEG_INFINITY), "-inf");
+        assert_eq!(print_shortest(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn paper_motivating_examples() {
+        // §1: 3/10 prints as 0.3 instead of 0.2999999….
+        assert_eq!(print_shortest(0.3), "0.3");
+        // §3.1: 10²³ as 1e23 rather than 9.999999999999999e22.
+        assert_eq!(print_shortest(1e23), "1e23");
+        assert_eq!(
+            FreeFormat::new()
+                .rounding(RoundingMode::Conservative)
+                .format(1e23),
+            "9.999999999999999e22"
+        );
+    }
+
+    #[test]
+    fn fixed_format_f32_third_shows_marks() {
+        // The paper's abstract illustrates 1/3 printing as 0.3333333### for
+        // a ~7-digit format; for IEEE single precision (~7.2 digits) the
+        // nearest float to 1/3 is 0.33333334327…, whose shortest prefix is
+        // 0.33333334 with the last two of ten places insignificant.
+        let s = FixedFormat::new()
+            .fraction_digits(10)
+            .format_f32(1.0f32 / 3.0);
+        assert_eq!(s, "0.33333334##");
+    }
+
+    #[test]
+    fn fixed_format_marks_can_be_disabled() {
+        let s = FixedFormat::new()
+            .fraction_digits(10)
+            .hash_marks(false)
+            .format_f32(1.0f32 / 3.0);
+        assert_eq!(s, "0.3333333400");
+    }
+
+    #[test]
+    fn fixed_format_specials_and_zero() {
+        let f = FixedFormat::new().fraction_digits(2);
+        assert_eq!(f.format(f64::NAN), "NaN");
+        assert_eq!(f.format(f64::INFINITY), "inf");
+        assert_eq!(f.format(0.0), "0");
+        assert_eq!(f.format(-1.25), "-1.25");
+    }
+
+    #[test]
+    fn fixed_format_paper_position_example() {
+        // §4: 100 printed to digit position -20.
+        let s = FixedFormat::new()
+            .absolute_position(-20)
+            .notation(Notation::Positional)
+            .format(100.0);
+        assert_eq!(s, "100.000000000000000#####");
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)]
+    fn shortest_round_trips_through_std_parse() {
+        for &v in &[
+            0.1,
+            0.3,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            6.02214076e23,
+            2f64.powi(-30),
+            123456789.123456789,
+        ] {
+            let s = print_shortest(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+    }
+
+    #[test]
+    fn f32_uses_its_own_boundaries() {
+        assert_eq!(FreeFormat::new().format_f32(0.1f32), "0.1");
+        // As an f64, the same bits need many more digits.
+        assert_eq!(print_shortest(f64::from(0.1f32)), "0.10000000149011612");
+    }
+
+    #[test]
+    fn base_2_and_36_round_trip_shapes() {
+        assert_eq!(print_shortest_base(0.5, 2), "0.1");
+        assert_eq!(print_shortest_base(35.0, 36), "z");
+    }
+
+    #[test]
+    fn builders_validate_base() {
+        assert!(std::panic::catch_unwind(|| FreeFormat::new().base(1)).is_err());
+        assert!(std::panic::catch_unwind(|| FixedFormat::new().base(37)).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Rendering digit sequences as strings.
+//!
+//! The algorithms produce positional digit data (`0.d₁d₂… × Bᵏ`); this module
+//! turns that into text: positional notation (`123.45`, `0.00071`),
+//! scientific notation (`1.2345e2`), or an automatic choice between them
+//! mirroring the behaviour of Scheme's `number->string` and the paper's
+//! examples (`0.3`, `1e23`).
+
+use crate::fixed::FixedDigits;
+use crate::generate::Digits;
+
+const DIGIT_CHARS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+
+fn digit_char(d: u8) -> char {
+    DIGIT_CHARS[d as usize] as char
+}
+
+/// How to lay out the digits of a printed number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Notation {
+    /// Always positional: `1230000`, `0.000123`.
+    Positional,
+    /// Always scientific: `1.23e6`, `1.23e-4`.
+    Scientific,
+    /// Positional while the exponent is moderate, scientific outside the
+    /// window: positional iff `low < k ≤ high` (`k` as in `0.d… × Bᵏ`).
+    ///
+    /// The default window `(-6, 21]` matches the familiar behaviour of
+    /// JavaScript/`Number.prototype.toString` and prints the paper's
+    /// examples as in the paper (`0.3`, `1e23`).
+    Auto {
+        /// Smallest `k` (exclusive) still printed positionally.
+        low: i32,
+        /// Largest `k` (inclusive) still printed positionally.
+        high: i32,
+    },
+}
+
+impl Default for Notation {
+    fn default() -> Self {
+        Notation::Auto { low: -6, high: 21 }
+    }
+}
+
+/// Cosmetic rendering options layered over [`Notation`]: exponent style,
+/// decimal separator and integer digit grouping.
+///
+/// ```
+/// use fpp_core::{render_styled, Digits, Notation, RenderOptions};
+/// let d = Digits { digits: vec![1, 2, 3, 4, 5, 6, 7], k: 7 };
+/// let opts = RenderOptions {
+///     group_separator: Some('_'),
+///     ..RenderOptions::default()
+/// };
+/// assert_eq!(render_styled(&d, Notation::Positional, 10, &opts), "1_234_567");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Exponent field style for scientific notation.
+    pub exponent_style: ExponentStyle,
+    /// Character between the integer and fraction parts (default `.`).
+    pub decimal_separator: char,
+    /// When set, integer digits are grouped in threes from the separator
+    /// (`1_234_567`). Fraction digits are never grouped.
+    pub group_separator: Option<char>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            exponent_style: ExponentStyle::Minimal,
+            decimal_separator: '.',
+            group_separator: None,
+        }
+    }
+}
+
+/// How the exponent field of scientific notation is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExponentStyle {
+    /// `e5`, `e-5` — the shortest form (and `@` in bases above 14).
+    #[default]
+    Minimal,
+    /// `E5`, `E-5` — uppercase marker.
+    Uppercase,
+    /// `e+05`, `e-05` — always signed, at least two digits, like C `printf`.
+    PrintfSigned,
+}
+
+/// The exponent marker for a base: `e` where it cannot be confused with a
+/// digit (bases 2–14), `@` elsewhere — the same convention the
+/// `fpp-reader` grammar accepts.
+#[must_use]
+pub fn exponent_marker(base: u64) -> char {
+    if base <= 14 {
+        'e'
+    } else {
+        '@'
+    }
+}
+
+/// Renders free-format digits with the given notation (base-10 exponent
+/// marker `e`; use [`render_in_base`] for other bases).
+#[must_use]
+pub fn render(digits: &Digits, notation: Notation) -> String {
+    render_in_base(digits, notation, 10)
+}
+
+/// Renders free-format digits with the given notation, choosing the
+/// exponent marker appropriate for `base`.
+#[must_use]
+pub fn render_in_base(digits: &Digits, notation: Notation, base: u64) -> String {
+    render_styled(digits, notation, base, &RenderOptions::default())
+}
+
+/// Renders free-format digits with full cosmetic control.
+#[must_use]
+pub fn render_styled(
+    digits: &Digits,
+    notation: Notation,
+    base: u64,
+    opts: &RenderOptions,
+) -> String {
+    let body = match notation {
+        Notation::Positional => positional(&digits.digits, digits.k, 0),
+        Notation::Scientific => scientific(&digits.digits, digits.k, 0, exponent_marker(base)),
+        Notation::Auto { low, high } => {
+            if digits.k > low && digits.k <= high {
+                positional(&digits.digits, digits.k, 0)
+            } else {
+                scientific(&digits.digits, digits.k, 0, exponent_marker(base))
+            }
+        }
+    };
+    apply_style(&body, base, opts)
+}
+
+/// Applies [`RenderOptions`] to a rendered body (separator swap, exponent
+/// restyle, grouping).
+fn apply_style(body: &str, base: u64, opts: &RenderOptions) -> String {
+    let marker = exponent_marker(base);
+    let (mantissa, exponent) = match body.split_once(marker) {
+        Some((m, e)) => (m, Some(e)),
+        None => (body, None),
+    };
+    let (int_part, frac_part) = match mantissa.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (mantissa, None),
+    };
+    let mut out = String::with_capacity(body.len() + 8);
+    match opts.group_separator {
+        None => out.push_str(int_part),
+        Some(sep) => {
+            let chars: Vec<char> = int_part.chars().collect();
+            for (i, c) in chars.iter().enumerate() {
+                if i > 0 && (chars.len() - i) % 3 == 0 {
+                    out.push(sep);
+                }
+                out.push(*c);
+            }
+        }
+    }
+    if let Some(f) = frac_part {
+        out.push(opts.decimal_separator);
+        out.push_str(f);
+    }
+    if let Some(e) = exponent {
+        let value: i32 = e.parse().expect("exponent field is numeric");
+        match opts.exponent_style {
+            ExponentStyle::Minimal => {
+                out.push(marker);
+                out.push_str(e);
+            }
+            ExponentStyle::Uppercase => {
+                out.push(marker.to_ascii_uppercase());
+                out.push_str(e);
+            }
+            ExponentStyle::PrintfSigned => {
+                out.push(marker);
+                out.push(if value < 0 { '-' } else { '+' });
+                out.push_str(&format!("{:02}", value.abs()));
+            }
+        }
+    }
+    out
+}
+
+/// Renders fixed-format digits (including `#` marks) with the given
+/// notation (base-10 exponent marker; use [`render_fixed_in_base`] for
+/// other bases). The digit string always extends exactly to the requested
+/// position, so trailing zeros are preserved (`1.500`).
+#[must_use]
+pub fn render_fixed(digits: &FixedDigits, notation: Notation) -> String {
+    render_fixed_in_base(digits, notation, 10)
+}
+
+/// Renders fixed-format digits, choosing the exponent marker appropriate
+/// for `base`.
+#[must_use]
+pub fn render_fixed_in_base(digits: &FixedDigits, notation: Notation, base: u64) -> String {
+    render_fixed_styled(digits, notation, base, &RenderOptions::default())
+}
+
+/// Renders fixed-format digits with full cosmetic control.
+#[must_use]
+pub fn render_fixed_styled(
+    digits: &FixedDigits,
+    notation: Notation,
+    base: u64,
+    opts: &RenderOptions,
+) -> String {
+    if digits.digits.is_empty() && digits.insignificant == 0 {
+        // The value rounded to zero at the requested precision.
+        return if digits.position >= 0 {
+            "0".to_string()
+        } else {
+            let mut s = String::from("0.");
+            s.extend(std::iter::repeat_n('0', (-digits.position) as usize));
+            s
+        };
+    }
+    let marker = exponent_marker(base);
+    let body = match notation {
+        Notation::Positional => positional(&digits.digits, digits.k, digits.insignificant),
+        Notation::Scientific => scientific(&digits.digits, digits.k, digits.insignificant, marker),
+        Notation::Auto { low, high } => {
+            if digits.k > low && digits.k <= high {
+                positional(&digits.digits, digits.k, digits.insignificant)
+            } else {
+                scientific(&digits.digits, digits.k, digits.insignificant, marker)
+            }
+        }
+    };
+    apply_style(&body, base, opts)
+}
+
+/// Positional layout of `0.d₁d₂… × Bᵏ` followed by `hashes` `#` marks.
+fn positional(digits: &[u8], k: i32, hashes: usize) -> String {
+    let total = digits.len() + hashes; // digit positions k-1 down to k-total
+    let mut out = String::with_capacity(total + 8);
+    let emit = |out: &mut String, idx: usize| {
+        if idx < digits.len() {
+            out.push(digit_char(digits[idx]));
+        } else {
+            out.push('#');
+        }
+    };
+    if k <= 0 {
+        out.push_str("0.");
+        for _ in 0..(-k) {
+            out.push('0');
+        }
+        for i in 0..total {
+            emit(&mut out, i);
+        }
+    } else if (k as usize) >= total {
+        for i in 0..total {
+            emit(&mut out, i);
+        }
+        for _ in 0..(k as usize - total) {
+            out.push('0');
+        }
+    } else {
+        for i in 0..k as usize {
+            emit(&mut out, i);
+        }
+        out.push('.');
+        for i in k as usize..total {
+            emit(&mut out, i);
+        }
+    }
+    out
+}
+
+/// Scientific layout `d₁.d₂…e(k−1)` followed by `#` marks inside the
+/// fraction when present.
+fn scientific(digits: &[u8], k: i32, hashes: usize, marker: char) -> String {
+    let total = digits.len() + hashes;
+    let mut out = String::with_capacity(total + 8);
+    let emit = |out: &mut String, idx: usize| {
+        if idx < digits.len() {
+            out.push(digit_char(digits[idx]));
+        } else {
+            out.push('#');
+        }
+    };
+    emit(&mut out, 0);
+    if total > 1 {
+        out.push('.');
+        for i in 1..total {
+            emit(&mut out, i);
+        }
+    }
+    out.push(marker);
+    out.push_str(&(k - 1).to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free(digits: &[u8], k: i32) -> Digits {
+        Digits {
+            digits: digits.to_vec(),
+            k,
+        }
+    }
+
+    #[test]
+    fn positional_layouts() {
+        assert_eq!(render(&free(&[3], 0), Notation::Positional), "0.3");
+        assert_eq!(render(&free(&[1], 1), Notation::Positional), "1");
+        assert_eq!(render(&free(&[1], 3), Notation::Positional), "100");
+        assert_eq!(render(&free(&[1, 2, 3], 2), Notation::Positional), "12.3");
+        assert_eq!(render(&free(&[7], -3), Notation::Positional), "0.0007");
+        assert_eq!(
+            render(&free(&[1, 2, 3], 3), Notation::Positional),
+            "123"
+        );
+    }
+
+    #[test]
+    fn scientific_layouts() {
+        assert_eq!(render(&free(&[1], 24), Notation::Scientific), "1e23");
+        assert_eq!(
+            render(&free(&[1, 5], 1), Notation::Scientific),
+            "1.5e0"
+        );
+        assert_eq!(render(&free(&[5], -323), Notation::Scientific), "5e-324");
+    }
+
+    #[test]
+    fn auto_window() {
+        let auto = Notation::default();
+        assert_eq!(render(&free(&[3], 0), auto), "0.3");
+        assert_eq!(render(&free(&[1], 24), auto), "1e23");
+        assert_eq!(render(&free(&[1], 21), auto), "1".to_string() + &"0".repeat(20));
+        assert_eq!(render(&free(&[1], 22), auto), "1e21");
+        assert_eq!(render(&free(&[7], -6), auto), "7e-7");
+        assert_eq!(render(&free(&[7], -5), auto), "0.000007");
+    }
+
+    #[test]
+    fn digits_above_nine_use_letters() {
+        assert_eq!(
+            render(&free(&[15, 15], 2), Notation::Positional),
+            "ff"
+        );
+        assert_eq!(
+            render(&free(&[35, 0, 1], 1), Notation::Positional),
+            "z.01"
+        );
+    }
+
+    #[test]
+    fn fixed_with_hash_marks() {
+        let fd = FixedDigits {
+            digits: vec![1, 0, 0],
+            k: 3,
+            insignificant: 2,
+            position: -2,
+        };
+        assert_eq!(render_fixed(&fd, Notation::Positional), "100.##");
+        let fd = FixedDigits {
+            digits: vec![3, 3, 3],
+            k: 0,
+            insignificant: 3,
+            position: -6,
+        };
+        assert_eq!(render_fixed(&fd, Notation::Positional), "0.333###");
+        assert_eq!(render_fixed(&fd, Notation::Scientific), "3.33###e-1");
+    }
+
+    #[test]
+    fn styled_rendering() {
+        let opts = RenderOptions {
+            exponent_style: ExponentStyle::PrintfSigned,
+            decimal_separator: ',',
+            group_separator: Some('\u{202f}'), // narrow no-break space
+        };
+        let d = free(&[1, 2, 3, 4, 5, 6], 5);
+        assert_eq!(
+            render_styled(&d, Notation::Positional, 10, &opts),
+            "12\u{202f}345,6"
+        );
+        assert_eq!(
+            render_styled(&d, Notation::Scientific, 10, &opts),
+            "1,23456e+04"
+        );
+        let tiny = free(&[5], -323);
+        assert_eq!(
+            render_styled(&tiny, Notation::Scientific, 10, &opts),
+            "5e-324"
+        );
+        let upper = RenderOptions {
+            exponent_style: ExponentStyle::Uppercase,
+            ..RenderOptions::default()
+        };
+        assert_eq!(
+            render_styled(&free(&[7], 10), Notation::Scientific, 10, &upper),
+            "7E9"
+        );
+        // grouping only touches the integer part and leaves short ones alone
+        let grouped = RenderOptions {
+            group_separator: Some('_'),
+            ..RenderOptions::default()
+        };
+        assert_eq!(
+            render_styled(&free(&[1, 2, 3], 3), Notation::Positional, 10, &grouped),
+            "123"
+        );
+        assert_eq!(
+            render_styled(&free(&[1, 2, 3, 4], 4), Notation::Positional, 10, &grouped),
+            "1_234"
+        );
+    }
+
+    #[test]
+    fn fixed_zero_output() {
+        let fd = FixedDigits {
+            digits: vec![],
+            k: 0,
+            insignificant: 0,
+            position: 0,
+        };
+        assert_eq!(render_fixed(&fd, Notation::Positional), "0");
+        let fd = FixedDigits {
+            digits: vec![],
+            k: 0,
+            insignificant: 0,
+            position: -3,
+        };
+        assert_eq!(render_fixed(&fd, Notation::Positional), "0.000");
+    }
+}

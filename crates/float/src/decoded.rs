@@ -1,0 +1,97 @@
+//! Classification of hardware floating-point values.
+
+/// The decoded form of a hardware float (IEEE 754 binary interchange format).
+///
+/// For [`Decoded::Finite`] the value is `±mantissa × 2^exponent` with the
+/// hidden bit already applied: a normal `f64` has `2⁵² ≤ mantissa < 2⁵³`,
+/// a subnormal has `0 < mantissa < 2⁵²` and `exponent` equal to the format's
+/// minimum (−1074 for `f64`). Zero is its own variant so `Finite` mantissas
+/// are always non-zero.
+///
+/// ```
+/// use fpp_float::{Decoded, FloatFormat};
+///
+/// assert_eq!(1.0f64.decode(), Decoded::Finite {
+///     negative: false,
+///     mantissa: 1 << 52,
+///     exponent: -52,
+/// });
+/// assert_eq!((-0.0f64).decode(), Decoded::Zero { negative: true });
+/// assert_eq!(f64::NAN.decode(), Decoded::Nan);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decoded {
+    /// Not a number (any payload).
+    Nan,
+    /// Positive or negative infinity.
+    Infinite {
+        /// `true` for `-inf`.
+        negative: bool,
+    },
+    /// Positive or negative zero.
+    Zero {
+        /// `true` for `-0.0`.
+        negative: bool,
+    },
+    /// A non-zero finite value `±mantissa × 2^exponent`.
+    Finite {
+        /// `true` for values below zero.
+        negative: bool,
+        /// The significand with the hidden bit applied; never zero.
+        mantissa: u64,
+        /// Power-of-two scale such that `|v| = mantissa × 2^exponent`.
+        exponent: i32,
+    },
+}
+
+impl Decoded {
+    /// Returns `true` for NaN and the infinities.
+    #[must_use]
+    pub fn is_special(&self) -> bool {
+        matches!(self, Decoded::Nan | Decoded::Infinite { .. })
+    }
+
+    /// Returns the finite parts `(negative, mantissa, exponent)` when the
+    /// value is finite and non-zero.
+    #[must_use]
+    pub fn finite_parts(&self) -> Option<(bool, u64, i32)> {
+        match *self {
+            Decoded::Finite {
+                negative,
+                mantissa,
+                exponent,
+            } => Some((negative, mantissa, exponent)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_classification() {
+        assert!(Decoded::Nan.is_special());
+        assert!(Decoded::Infinite { negative: true }.is_special());
+        assert!(!Decoded::Zero { negative: false }.is_special());
+        assert!(!Decoded::Finite {
+            negative: false,
+            mantissa: 1,
+            exponent: 0
+        }
+        .is_special());
+    }
+
+    #[test]
+    fn finite_parts_extraction() {
+        let d = Decoded::Finite {
+            negative: true,
+            mantissa: 3,
+            exponent: -1,
+        };
+        assert_eq!(d.finite_parts(), Some((true, 3, -1)));
+        assert_eq!(Decoded::Nan.finite_parts(), None);
+        assert_eq!(Decoded::Zero { negative: false }.finite_parts(), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! Software half-precision formats: IEEE 754 binary16 ([`F16`]) and
+//! bfloat16 ([`Bf16`]).
+//!
+//! Rust has no stable native 16-bit floats, so these are bit-level software
+//! models implementing [`FloatFormat`]; the printing and reading pipeline is
+//! generic over the trait, which makes the 16-bit formats ideal for
+//! *exhaustive* verification — every one of the 65,536 bit patterns can be
+//! printed and read back in milliseconds.
+
+use crate::{Decoded, FloatFormat};
+use std::cmp::Ordering;
+
+macro_rules! impl_half_format {
+    ($(#[$doc:meta])* $name:ident, $mant_bits:expr, $exp_bits:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name(u16);
+
+        impl $name {
+            const EXP_MASK: u16 = ((1 << $exp_bits) - 1) << $mant_bits;
+            const MANT_MASK: u16 = (1 << $mant_bits) - 1;
+
+            /// Creates a value from its raw bit pattern.
+            #[must_use]
+            pub fn from_bits(bits: u16) -> Self {
+                $name(bits)
+            }
+
+            /// The raw bit pattern.
+            #[must_use]
+            pub fn to_bits(self) -> u16 {
+                self.0
+            }
+
+            /// Converts to `f64` exactly (every 16-bit float value is
+            /// representable as a double).
+            #[must_use]
+            pub fn to_f64(self) -> f64 {
+                match self.decode() {
+                    Decoded::Nan => f64::NAN,
+                    Decoded::Infinite { negative } => {
+                        if negative {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        }
+                    }
+                    Decoded::Zero { negative } => {
+                        if negative {
+                            -0.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Decoded::Finite {
+                        negative,
+                        mantissa,
+                        exponent,
+                    } => {
+                        let mag = mantissa as f64 * 2f64.powi(exponent);
+                        if negative {
+                            -mag
+                        } else {
+                            mag
+                        }
+                    }
+                }
+            }
+
+            /// `true` when the value is NaN.
+            #[must_use]
+            pub fn is_nan(self) -> bool {
+                self.0 & Self::EXP_MASK == Self::EXP_MASK && self.0 & Self::MANT_MASK != 0
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.to_f64() == other.to_f64()
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                self.to_f64().partial_cmp(&other.to_f64())
+            }
+        }
+
+        impl FloatFormat for $name {
+            const PRECISION: u32 = $mant_bits + 1;
+            const MIN_EXP: i32 = 2 - (1 << ($exp_bits - 1)) - $mant_bits as i32;
+            const MAX_EXP: i32 = (1 << ($exp_bits - 1)) - 1 - $mant_bits as i32;
+
+            fn decode(self) -> Decoded {
+                let bits = self.0;
+                let negative = bits >> ($mant_bits + $exp_bits) != 0;
+                let biased = (bits & Self::EXP_MASK) >> $mant_bits;
+                let frac = bits & Self::MANT_MASK;
+                if biased == (1 << $exp_bits) - 1 {
+                    return if frac == 0 {
+                        Decoded::Infinite { negative }
+                    } else {
+                        Decoded::Nan
+                    };
+                }
+                if biased == 0 {
+                    if frac == 0 {
+                        return Decoded::Zero { negative };
+                    }
+                    return Decoded::Finite {
+                        negative,
+                        mantissa: u64::from(frac),
+                        exponent: <Self as FloatFormat>::MIN_EXP,
+                    };
+                }
+                Decoded::Finite {
+                    negative,
+                    mantissa: u64::from(frac | (1 << $mant_bits)),
+                    exponent: i32::from(biased) + (<Self as FloatFormat>::MIN_EXP - 1),
+                }
+            }
+
+            fn encode(negative: bool, mantissa: u64, exponent: i32) -> Self {
+                let sign_bit = u16::from(negative) << ($mant_bits + $exp_bits);
+                if mantissa == 0 {
+                    return $name(sign_bit);
+                }
+                debug_assert!(mantissa < (1 << ($mant_bits + 1)));
+                let bits = if mantissa < (1 << $mant_bits) {
+                    debug_assert!(exponent == <Self as FloatFormat>::MIN_EXP);
+                    sign_bit | mantissa as u16
+                } else {
+                    let biased = (exponent - (<Self as FloatFormat>::MIN_EXP - 1)) as u16;
+                    sign_bit | (biased << $mant_bits) | (mantissa as u16 & Self::MANT_MASK)
+                };
+                $name(bits)
+            }
+
+            fn infinity(negative: bool) -> Self {
+                $name(u16::from(negative) << 15 | Self::EXP_MASK)
+            }
+
+            fn nan() -> Self {
+                $name(Self::EXP_MASK | 1)
+            }
+
+            fn max_finite() -> Self {
+                $name(Self::EXP_MASK - 1)
+            }
+
+            fn next_up(self) -> Self {
+                if self.is_nan() || self.0 == Self::EXP_MASK {
+                    return self;
+                }
+                if self.0 == 0 || self.0 == 0x8000 {
+                    return $name(1);
+                }
+                if self.0 >> 15 == 0 {
+                    $name(self.0 + 1)
+                } else {
+                    $name(self.0 - 1)
+                }
+            }
+
+            fn next_down(self) -> Self {
+                if self.is_nan() {
+                    return self;
+                }
+                if self.0 == 0 || self.0 == 0x8000 {
+                    return $name(0x8001);
+                }
+                if self.0 >> 15 == 0 {
+                    $name(self.0 - 1)
+                } else {
+                    $name(self.0 + 1)
+                }
+            }
+        }
+    };
+}
+
+impl_half_format!(
+    /// IEEE 754 binary16: 1 sign bit, 5 exponent bits, 10 mantissa bits
+    /// (plus the hidden bit; 11-bit precision).
+    ///
+    /// ```
+    /// use fpp_float::{F16, FloatFormat};
+    /// assert_eq!(<F16 as FloatFormat>::PRECISION, 11);
+    /// assert_eq!(<F16 as FloatFormat>::MIN_EXP, -24);
+    /// let one = F16::from_bits(0x3C00);
+    /// assert_eq!(one.to_f64(), 1.0);
+    /// ```
+    F16,
+    10,
+    5
+);
+
+impl_half_format!(
+    /// bfloat16: 1 sign bit, 8 exponent bits (same range as `f32`), 7
+    /// mantissa bits (8-bit precision).
+    ///
+    /// ```
+    /// use fpp_float::{Bf16, FloatFormat};
+    /// assert_eq!(<Bf16 as FloatFormat>::PRECISION, 8);
+    /// let one = Bf16::from_bits(0x3F80);
+    /// assert_eq!(one.to_f64(), 1.0);
+    /// ```
+    Bf16,
+    7,
+    8
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_constants() {
+        assert_eq!(<F16 as FloatFormat>::PRECISION, 11);
+        assert_eq!(<F16 as FloatFormat>::MIN_EXP, -24);
+        assert_eq!(<F16 as FloatFormat>::MAX_EXP, 5);
+        assert_eq!(<Bf16 as FloatFormat>::PRECISION, 8);
+        assert_eq!(<Bf16 as FloatFormat>::MIN_EXP, -133);
+        assert_eq!(<Bf16 as FloatFormat>::MAX_EXP, 120);
+    }
+
+    #[test]
+    fn f16_known_values() {
+        assert_eq!(F16::from_bits(0x3C00).to_f64(), 1.0);
+        assert_eq!(F16::from_bits(0xC000).to_f64(), -2.0);
+        assert_eq!(F16::from_bits(0x7BFF).to_f64(), 65504.0); // max finite
+        assert_eq!(F16::from_bits(0x0001).to_f64(), 2f64.powi(-24)); // min subnormal
+        assert!(F16::from_bits(0x7C01).is_nan());
+        assert_eq!(F16::from_bits(0x7C00).to_f64(), f64::INFINITY);
+        assert_eq!(F16::max_finite().to_f64(), 65504.0);
+    }
+
+    #[test]
+    fn bf16_known_values() {
+        assert_eq!(Bf16::from_bits(0x3F80).to_f64(), 1.0);
+        assert_eq!(Bf16::from_bits(0x4049).to_f64() as f32, 3.140625f32);
+        assert!(Bf16::nan().is_nan());
+    }
+
+    #[test]
+    fn exhaustive_decode_encode_round_trip() {
+        for bits in 0..=u16::MAX {
+            let v = F16::from_bits(bits);
+            if let Decoded::Finite {
+                negative,
+                mantissa,
+                exponent,
+            } = v.decode()
+            {
+                assert_eq!(F16::encode(negative, mantissa, exponent).to_bits(), bits);
+            }
+            let v = Bf16::from_bits(bits);
+            if let Decoded::Finite {
+                negative,
+                mantissa,
+                exponent,
+            } = v.decode()
+            {
+                assert_eq!(Bf16::encode(negative, mantissa, exponent).to_bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_next_up_adjacency() {
+        for bits in 0..0x7C00u16 {
+            // positive finites below infinity
+            let v = F16::from_bits(bits);
+            let up = v.next_up();
+            assert!(up.to_f64() > v.to_f64(), "bits {bits:#06x}");
+            assert_eq!(up.next_down().to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+}

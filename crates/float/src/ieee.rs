@@ -1,0 +1,305 @@
+//! The [`FloatFormat`] trait and its `f32`/`f64` implementations.
+
+use crate::Decoded;
+
+/// A hardware IEEE 754 binary floating-point format.
+///
+/// Implemented for [`f32`] and [`f64`]. The associated constants describe the
+/// format in the vocabulary of the paper's §2.1: input base 2, precision
+/// [`PRECISION`](FloatFormat::PRECISION) bits, exponents (of the *integral*
+/// significand) ranging over
+/// [`MIN_EXP`](FloatFormat::MIN_EXP)`..=`[`MAX_EXP`](FloatFormat::MAX_EXP).
+///
+/// ```
+/// use fpp_float::FloatFormat;
+///
+/// assert_eq!(<f64 as FloatFormat>::PRECISION, 53);
+/// assert_eq!(<f64 as FloatFormat>::MIN_EXP, -1074);
+/// assert_eq!(f64::MAX.decode().finite_parts().unwrap().2, <f64 as FloatFormat>::MAX_EXP);
+/// ```
+pub trait FloatFormat: Copy + PartialOrd + Sized {
+    /// Significand precision in bits, including the hidden bit (53 for `f64`).
+    const PRECISION: u32;
+    /// Smallest exponent of the integral significand (−1074 for `f64`);
+    /// subnormals all carry this exponent.
+    const MIN_EXP: i32;
+    /// Largest exponent of the integral significand (971 for `f64`).
+    const MAX_EXP: i32;
+
+    /// Decodes into sign/mantissa/exponent form with the hidden bit applied.
+    fn decode(self) -> Decoded;
+
+    /// Rebuilds a float from its finite decoded parts.
+    ///
+    /// `mantissa` must fit the format: `mantissa < 2^PRECISION`, and either
+    /// `mantissa ≥ 2^(PRECISION−1)` (normal) or `exponent == MIN_EXP`
+    /// (subnormal). `mantissa == 0` encodes (signed) zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the parts do not satisfy the constraints
+    /// above or `exponent` is out of range.
+    fn encode(negative: bool, mantissa: u64, exponent: i32) -> Self;
+
+    /// The format's (signed) infinity, for reader overflow handling.
+    fn infinity(negative: bool) -> Self;
+
+    /// A quiet NaN.
+    fn nan() -> Self;
+
+    /// The largest finite value of the format (what directed rounding
+    /// toward zero produces on overflow).
+    fn max_finite() -> Self;
+
+    /// The next representable value toward `+∞` (IEEE 754 `nextUp`).
+    ///
+    /// The paper's `v⁺` for positive finite inputs. NaN maps to NaN;
+    /// `MAX` maps to `+∞`.
+    fn next_up(self) -> Self;
+
+    /// The next representable value toward `−∞` (IEEE 754 `nextDown`).
+    fn next_down(self) -> Self;
+}
+
+macro_rules! impl_float_format {
+    ($f:ty, $bits:ty, $mant_bits:expr, $exp_bits:expr) => {
+        impl FloatFormat for $f {
+            const PRECISION: u32 = $mant_bits + 1;
+            const MIN_EXP: i32 = 2 - (1 << ($exp_bits - 1)) - $mant_bits as i32;
+            const MAX_EXP: i32 = (1 << ($exp_bits - 1)) - 1 - $mant_bits as i32;
+
+            fn decode(self) -> Decoded {
+                const MANT_MASK: $bits = (1 << $mant_bits) - 1;
+                const EXP_MASK: $bits = (1 << $exp_bits) - 1;
+                let bits = self.to_bits();
+                let negative = bits >> ($mant_bits + $exp_bits) != 0;
+                let biased = (bits >> $mant_bits) & EXP_MASK;
+                let frac = bits & MANT_MASK;
+                if biased == EXP_MASK {
+                    return if frac == 0 {
+                        Decoded::Infinite { negative }
+                    } else {
+                        Decoded::Nan
+                    };
+                }
+                if biased == 0 {
+                    if frac == 0 {
+                        return Decoded::Zero { negative };
+                    }
+                    // Subnormal: no hidden bit, fixed minimum exponent.
+                    return Decoded::Finite {
+                        negative,
+                        mantissa: frac as u64,
+                        exponent: <Self as FloatFormat>::MIN_EXP,
+                    };
+                }
+                Decoded::Finite {
+                    negative,
+                    mantissa: (frac | (1 << $mant_bits)) as u64,
+                    exponent: biased as i32 + (<Self as FloatFormat>::MIN_EXP - 1),
+                }
+            }
+
+            fn encode(negative: bool, mantissa: u64, exponent: i32) -> Self {
+                let sign_bit: $bits = <$bits>::from(negative) << ($mant_bits + $exp_bits);
+                if mantissa == 0 {
+                    return <$f>::from_bits(sign_bit);
+                }
+                debug_assert!(mantissa < (1 << ($mant_bits + 1)), "mantissa too wide");
+                debug_assert!(
+                    (<Self as FloatFormat>::MIN_EXP..=<Self as FloatFormat>::MAX_EXP).contains(&exponent),
+                    "exponent out of range"
+                );
+                let bits = if mantissa < (1 << $mant_bits) {
+                    debug_assert!(exponent == <Self as FloatFormat>::MIN_EXP, "unnormalized mantissa");
+                    sign_bit | mantissa as $bits
+                } else {
+                    let biased = (exponent - (<Self as FloatFormat>::MIN_EXP - 1)) as $bits;
+                    sign_bit | (biased << $mant_bits) | (mantissa as $bits & ((1 << $mant_bits) - 1))
+                };
+                <$f>::from_bits(bits)
+            }
+
+            fn infinity(negative: bool) -> Self {
+                if negative {
+                    <$f>::NEG_INFINITY
+                } else {
+                    <$f>::INFINITY
+                }
+            }
+
+            fn nan() -> Self {
+                <$f>::NAN
+            }
+
+            fn max_finite() -> Self {
+                <$f>::MAX
+            }
+
+            fn next_up(self) -> Self {
+                if self.is_nan() || self == <$f>::INFINITY {
+                    return self;
+                }
+                if self == 0.0 {
+                    return <$f>::from_bits(1);
+                }
+                let bits = self.to_bits();
+                if self > 0.0 {
+                    <$f>::from_bits(bits + 1)
+                } else {
+                    <$f>::from_bits(bits - 1)
+                }
+            }
+
+            fn next_down(self) -> Self {
+                -(-self).next_up()
+            }
+        }
+    };
+}
+
+impl_float_format!(f64, u64, 52, 11);
+impl_float_format!(f32, u32, 23, 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_constants() {
+        assert_eq!(<f64 as FloatFormat>::PRECISION, 53);
+        assert_eq!(<f64 as FloatFormat>::MIN_EXP, -1074);
+        assert_eq!(<f64 as FloatFormat>::MAX_EXP, 971);
+        assert_eq!(<f32 as FloatFormat>::PRECISION, 24);
+        assert_eq!(<f32 as FloatFormat>::MIN_EXP, -149);
+        assert_eq!(<f32 as FloatFormat>::MAX_EXP, 104);
+    }
+
+    #[test]
+    fn decode_normal_values() {
+        assert_eq!(
+            1.0f64.decode(),
+            Decoded::Finite {
+                negative: false,
+                mantissa: 1 << 52,
+                exponent: -52
+            }
+        );
+        assert_eq!(
+            (-2.0f64).decode(),
+            Decoded::Finite {
+                negative: true,
+                mantissa: 1 << 52,
+                exponent: -51
+            }
+        );
+        assert_eq!(
+            1.5f32.decode(),
+            Decoded::Finite {
+                negative: false,
+                mantissa: 3 << 22,
+                exponent: -23
+            }
+        );
+    }
+
+    #[test]
+    fn decode_extremes() {
+        assert_eq!(
+            f64::MAX.decode(),
+            Decoded::Finite {
+                negative: false,
+                mantissa: (1 << 53) - 1,
+                exponent: 971
+            }
+        );
+        // Smallest positive subnormal.
+        assert_eq!(
+            f64::from_bits(1).decode(),
+            Decoded::Finite {
+                negative: false,
+                mantissa: 1,
+                exponent: -1074
+            }
+        );
+        // Smallest positive normal.
+        assert_eq!(
+            f64::MIN_POSITIVE.decode(),
+            Decoded::Finite {
+                negative: false,
+                mantissa: 1 << 52,
+                exponent: -1074
+            }
+        );
+        assert_eq!(f64::INFINITY.decode(), Decoded::Infinite { negative: false });
+        assert_eq!(
+            f64::NEG_INFINITY.decode(),
+            Decoded::Infinite { negative: true }
+        );
+        assert_eq!(f64::NAN.decode(), Decoded::Nan);
+    }
+
+    #[test]
+    fn encode_round_trips_decode() {
+        for v in [
+            1.0f64,
+            -1.0,
+            0.1,
+            1e300,
+            1e-300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            f64::from_bits(0xf_ffff_ffff_ffff), // largest subnormal
+            123456.789,
+        ] {
+            if let Decoded::Finite {
+                negative,
+                mantissa,
+                exponent,
+            } = v.decode()
+            {
+                assert_eq!(f64::encode(negative, mantissa, exponent), v, "{v}");
+            } else {
+                panic!("expected finite: {v}");
+            }
+        }
+        assert_eq!(f64::encode(false, 0, 0), 0.0);
+        assert!(f64::encode(true, 0, 0).is_sign_negative());
+    }
+
+    #[test]
+    fn f32_encode_round_trips() {
+        for v in [1.0f32, -0.5, 3.4e38, 1e-45, 0.1] {
+            if let Decoded::Finite {
+                negative,
+                mantissa,
+                exponent,
+            } = v.decode()
+            {
+                assert_eq!(f32::encode(negative, mantissa, exponent), v, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_up_down_adjacency() {
+        assert_eq!(1.0f64.next_up(), 1.0 + f64::EPSILON);
+        assert_eq!((1.0 + f64::EPSILON).next_down(), 1.0);
+        assert_eq!(0.0f64.next_up(), f64::from_bits(1));
+        assert_eq!(f64::MAX.next_up(), f64::INFINITY);
+        assert_eq!((-f64::from_bits(1)).next_up(), -0.0);
+        assert!(f64::NAN.next_up().is_nan());
+        // Across the power-of-two boundary the gap halves.
+        let below = 2.0f64.next_down();
+        assert_eq!(2.0 - below, f64::EPSILON);
+        assert_eq!(2.0f64.next_up() - 2.0, 2.0 * f64::EPSILON);
+    }
+
+    #[test]
+    fn negative_next_up_moves_toward_zero() {
+        let v = -1.0f64;
+        assert!(v.next_up() > v);
+        assert_eq!(v.next_up(), -(1.0f64.next_down()));
+    }
+}

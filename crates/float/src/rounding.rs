@@ -1,0 +1,70 @@
+//! Input rounding modes.
+//!
+//! Free-format printing produces the shortest string that *reads back* as the
+//! original value, so "shortest" depends on how the reader rounds (§3.1 of
+//! the paper). [`RoundingMode`] names the rounding algorithm the eventual
+//! reader is assumed to use; the printer derives from it whether the
+//! endpoints of the rounding range may themselves be produced, and the
+//! accurate reader in `fpp-reader` implements the same modes.
+
+/// The rounding algorithm used by the floating-point *input* routine that
+/// will read printed output back in.
+///
+/// The default, and the mode IEEE 754 requires of conforming readers, is
+/// [`RoundingMode::NearestEven`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Round to nearest, ties to the even mantissa (IEEE 754 "unbiased"
+    /// rounding). A boundary midpoint reads back as `v` exactly when `v`'s
+    /// mantissa is even, so both endpoints of the rounding range are usable
+    /// for even mantissas (this is what lets `10²³` print as `1e23`, §3.1).
+    #[default]
+    NearestEven,
+    /// Round to nearest, ties away from zero: the lower midpoint reads back
+    /// as `v`, the upper one as `v⁺`.
+    NearestAwayFromZero,
+    /// Round to nearest, ties toward zero: the upper midpoint reads back as
+    /// `v`, the lower one as `v⁻`.
+    NearestTowardZero,
+    /// Directed rounding toward zero (truncation): every value in
+    /// `[v, v⁺)` reads back as `v`.
+    TowardZero,
+    /// Directed rounding away from zero: every value in `(v⁻, v]` reads back
+    /// as `v`.
+    AwayFromZero,
+    /// No assumption about the reader beyond round-to-*some*-nearest: both
+    /// endpoints are excluded. This is the paper's initial, most conservative
+    /// setting (§2.2); output is correct for any tie-breaking strategy, at
+    /// the cost of an occasional extra digit (`10²³` prints as
+    /// `9.999999999999999e22`).
+    Conservative,
+}
+
+impl RoundingMode {
+    /// Whether this mode constrains ties to the nearest representable value
+    /// (as opposed to a directed mode).
+    #[must_use]
+    pub fn is_nearest(self) -> bool {
+        !matches!(self, RoundingMode::TowardZero | RoundingMode::AwayFromZero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ieee_unbiased() {
+        assert_eq!(RoundingMode::default(), RoundingMode::NearestEven);
+    }
+
+    #[test]
+    fn nearest_classification() {
+        assert!(RoundingMode::NearestEven.is_nearest());
+        assert!(RoundingMode::NearestAwayFromZero.is_nearest());
+        assert!(RoundingMode::NearestTowardZero.is_nearest());
+        assert!(RoundingMode::Conservative.is_nearest());
+        assert!(!RoundingMode::TowardZero.is_nearest());
+        assert!(!RoundingMode::AwayFromZero.is_nearest());
+    }
+}

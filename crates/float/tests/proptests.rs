@@ -1,0 +1,115 @@
+//! Property tests for float decomposition and boundary computation.
+
+use fpp_bignum::Rat;
+use fpp_float::{Decoded, FloatFormat, SoftFloat};
+use proptest::prelude::*;
+
+/// Arbitrary positive finite f64 drawn uniformly over bit patterns.
+fn arb_positive_finite() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_filter_map("positive finite", |bits| {
+        let v = f64::from_bits(bits & !(1 << 63));
+        (v.is_finite() && v > 0.0).then_some(v)
+    })
+}
+
+proptest! {
+    #[test]
+    fn decode_encode_round_trip_f64(bits: u64) {
+        let v = f64::from_bits(bits);
+        match v.decode() {
+            Decoded::Finite { negative, mantissa, exponent } => {
+                let back = f64::encode(negative, mantissa, exponent);
+                prop_assert_eq!(back.to_bits(), v.to_bits());
+            }
+            Decoded::Zero { negative } => {
+                let back = f64::encode(negative, 0, 0);
+                prop_assert_eq!(back.to_bits(), v.to_bits());
+            }
+            Decoded::Nan => prop_assert!(v.is_nan()),
+            Decoded::Infinite { negative } => {
+                prop_assert!(v.is_infinite());
+                prop_assert_eq!(negative, v < 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_encode_round_trip_f32(bits: u32) {
+        let v = f32::from_bits(bits);
+        if let Decoded::Finite { negative, mantissa, exponent } = v.decode() {
+            prop_assert_eq!(f32::encode(negative, mantissa, exponent).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn decoded_value_is_exact(v in arb_positive_finite()) {
+        let (neg, m, e) = v.decode().finite_parts().unwrap();
+        prop_assert!(!neg);
+        // m × 2^e reproduces v exactly through lossless f64 ops when e fits;
+        // check via SoftFloat's exact rational instead to cover all cases.
+        let sf = SoftFloat::from_f64(v).unwrap();
+        prop_assert_eq!(sf.mantissa(), &fpp_bignum::Nat::from(m));
+        prop_assert_eq!(sf.exponent(), e);
+        let exact = Rat::from(fpp_bignum::Int::from(m)) * Rat::pow_i32(2, e);
+        prop_assert_eq!(sf.value(), exact);
+    }
+
+    #[test]
+    fn next_up_is_adjacent(v in arb_positive_finite()) {
+        let up = v.next_up();
+        prop_assert!(up > v);
+        prop_assert_eq!(up.next_down(), v);
+        if up.is_finite() {
+            // nothing representable in between
+            prop_assert_eq!(v.to_bits() + 1, up.to_bits());
+        }
+    }
+
+    #[test]
+    fn neighbors_bracket_value(v in arb_positive_finite()) {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let nb = sf.neighbors();
+        let val = sf.value();
+        prop_assert!(nb.low < val);
+        prop_assert!(val < nb.high);
+        prop_assert_eq!(&val - &nb.low, nb.m_minus.clone());
+        prop_assert_eq!(&nb.high - &val, nb.m_plus.clone());
+    }
+
+    #[test]
+    fn successor_matches_hardware(v in arb_positive_finite()) {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let up = v.next_up();
+        if up.is_finite() {
+            let sf_up = SoftFloat::from_f64(up).unwrap();
+            prop_assert_eq!(sf.successor_value(), sf_up.value());
+        }
+        let down = v.next_down();
+        if down > 0.0 {
+            let sf_down = SoftFloat::from_f64(down).unwrap();
+            prop_assert_eq!(sf.predecessor_value(), sf_down.value());
+        }
+    }
+
+    #[test]
+    fn narrow_gap_exactly_at_normalized_powers(v in arb_positive_finite()) {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let nb = sf.neighbors();
+        if sf.has_narrow_low_gap() {
+            prop_assert_eq!(&nb.m_minus + &nb.m_minus, nb.m_plus);
+        } else {
+            prop_assert_eq!(nb.m_minus, nb.m_plus);
+        }
+    }
+
+    #[test]
+    fn midpoints_are_half_sums(v in arb_positive_finite()) {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let nb = sf.neighbors();
+        let half = Rat::from_ratio_u64(1, 2);
+        prop_assert_eq!(nb.high, (sf.value() + sf.successor_value()) * &half);
+        if v.next_down() > 0.0 {
+            prop_assert_eq!(nb.low, (sf.predecessor_value() + sf.value()) * &half);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Accurate (correctly rounded) decimal→binary floating-point reading, in
+//! the style of Clinger's *How to Read Floating-Point Numbers Accurately*
+//! (PLDI 1990) — reference \[1\] of the Burger–Dybvig printing paper.
+//!
+//! Free-format printing is only meaningful relative to an *accurate input
+//! routine*: the printed string must convert back to exactly the original
+//! float. This crate provides that routine, for any input base 2–36, any
+//! supported rounding mode, and both hardware formats, so the printer's
+//! round-trip guarantee can be verified entirely in-repo (`str::parse::<f64>`
+//! only covers base 10 with round-to-nearest-even).
+//!
+//! The implementation is the exact big-integer path: form the literal as a
+//! ratio `D × Bᵠ` of big naturals, locate the unique representable mantissa
+//! by scaled division, and round with an exact remainder comparison. A fast
+//! path (Gay's observation, cited in §5 of the printing paper) handles the
+//! common short-literal cases with two exact floating-point operations.
+//!
+//! # Examples
+//!
+//! ```
+//! use fpp_reader::read_f64;
+//!
+//! assert_eq!(read_f64("0.3").unwrap(), 0.3);
+//! assert_eq!(read_f64("1e23").unwrap(), 1e23);
+//! assert_eq!(read_f64("-2.5e-3").unwrap(), -0.0025);
+//! assert!(read_f64("1e9999").unwrap().is_infinite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+mod fast;
+mod parse;
+mod soft;
+
+pub use convert::{decimal_to_float, DecimalParts};
+pub use fast::fast_path;
+pub use parse::{parse_hex_literal, parse_literal, Literal, ParseFloatError};
+pub use soft::{read_soft, SoftFormat, SoftReadResult};
+
+use fpp_float::{FloatFormat, RoundingMode};
+
+/// Reads an `f64` from a base-10 literal with IEEE round-to-nearest-even.
+///
+/// # Errors
+///
+/// Returns [`ParseFloatError`] on a malformed literal.
+///
+/// ```
+/// assert_eq!(fpp_reader::read_f64("6.02214076e23").unwrap(), 6.02214076e23);
+/// ```
+pub fn read_f64(s: &str) -> Result<f64, ParseFloatError> {
+    read_float::<f64>(s, 10, RoundingMode::NearestEven)
+}
+
+/// Reads an `f32` from a base-10 literal with IEEE round-to-nearest-even.
+///
+/// # Errors
+///
+/// Returns [`ParseFloatError`] on a malformed literal.
+pub fn read_f32(s: &str) -> Result<f32, ParseFloatError> {
+    read_float::<f32>(s, 10, RoundingMode::NearestEven)
+}
+
+/// Reads a float in any base 2–36 under any rounding mode.
+///
+/// [`RoundingMode::Conservative`] is a printer-side assumption, not a real
+/// reader behaviour; it is treated as [`RoundingMode::NearestEven`] (the
+/// IEEE default every conservative printer must tolerate).
+///
+/// # Errors
+///
+/// Returns [`ParseFloatError`] on a malformed literal.
+///
+/// # Panics
+///
+/// Panics if `base` is outside `2..=36`.
+///
+/// ```
+/// use fpp_float::RoundingMode;
+/// use fpp_reader::read_float;
+///
+/// let v: f64 = read_float("0.1", 2, RoundingMode::NearestEven).unwrap();
+/// assert_eq!(v, 0.5);
+/// ```
+pub fn read_float<F: FloatFormat>(
+    s: &str,
+    base: u64,
+    rounding: RoundingMode,
+) -> Result<F, ParseFloatError> {
+    assert!((2..=36).contains(&base), "input base must be in 2..=36");
+    let literal = parse_literal(s, base)?;
+    Ok(decimal_to_float::<F>(&literal, base, rounding))
+}
+
+/// Reads a C99 hexadecimal float literal (`0x1.8p+1`) into any hardware
+/// format, correctly rounded.
+///
+/// # Errors
+///
+/// Returns [`ParseFloatError`] on a malformed literal.
+///
+/// ```
+/// assert_eq!(fpp_reader::read_hex::<f64>("0x1.8p+1").unwrap(), 3.0);
+/// assert_eq!(fpp_reader::read_hex::<f64>("0x0.0000000000001p-1022").unwrap(), 5e-324);
+/// ```
+pub fn read_hex<F: FloatFormat>(s: &str) -> Result<F, ParseFloatError> {
+    let literal = parse_hex_literal(s)?;
+    Ok(decimal_to_float::<F>(&literal, 2, RoundingMode::NearestEven))
+}

@@ -1,0 +1,125 @@
+//! Property tests for the accurate reader, differential-tested against the
+//! Rust standard library's (correctly rounded) `str::parse::<f64>`.
+
+use fpp_float::{FloatFormat, RoundingMode};
+use fpp_reader::{read_f32, read_f64, read_float};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn agrees_with_std_parse_on_random_literals(
+        digits in proptest::collection::vec(0u8..10, 1..30),
+        point in proptest::option::of(0usize..30),
+        exp in proptest::option::of(-330i32..330),
+        neg: bool,
+    ) {
+        let mut s = String::new();
+        if neg {
+            s.push('-');
+        }
+        for (i, d) in digits.iter().enumerate() {
+            if Some(i) == point {
+                s.push('.');
+            }
+            s.push((b'0' + d) as char);
+        }
+        if let Some(e) = exp {
+            s.push('e');
+            s.push_str(&e.to_string());
+        }
+        let expect: f64 = s.parse().unwrap();
+        let got = read_f64(&s).unwrap();
+        prop_assert_eq!(got.to_bits(), expect.to_bits(), "{}", s);
+    }
+
+    #[test]
+    fn agrees_with_std_parse_on_bit_patterns(bits: u64) {
+        // Exact decimal expansion of an arbitrary double must read back
+        // bit-identically.
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            let s = format!("{v:e}");
+            let got = read_f64(&s).unwrap();
+            prop_assert_eq!(got.to_bits(), v.to_bits(), "{}", s);
+        }
+    }
+
+    #[test]
+    fn f32_agrees_with_std(bits: u32) {
+        let v = f32::from_bits(bits);
+        if v.is_finite() {
+            let s = format!("{v:e}");
+            prop_assert_eq!(read_f32(&s).unwrap().to_bits(), v.to_bits(), "{}", s);
+        }
+    }
+
+    #[test]
+    fn directed_modes_bracket_nearest(
+        digits in 1u64..10_000_000_000_000_000,
+        exp in -30i64..30,
+    ) {
+        let s = format!("{digits}e{exp}");
+        let down: f64 = read_float(&s, 10, RoundingMode::TowardZero).unwrap();
+        let up: f64 = read_float(&s, 10, RoundingMode::AwayFromZero).unwrap();
+        let near: f64 = read_float(&s, 10, RoundingMode::NearestEven).unwrap();
+        prop_assert!(down <= near && near <= up);
+        // down and up are equal (exact) or adjacent.
+        if down != up {
+            prop_assert_eq!(down.next_up().to_bits(), up.to_bits());
+        }
+    }
+
+    #[test]
+    fn nearest_modes_agree_except_at_ties(
+        digits in 1u64..u64::MAX,
+        exp in -300i64..300,
+    ) {
+        let s = format!("{digits}e{exp}");
+        let even: f64 = read_float(&s, 10, RoundingMode::NearestEven).unwrap();
+        let away: f64 = read_float(&s, 10, RoundingMode::NearestAwayFromZero).unwrap();
+        let toward: f64 = read_float(&s, 10, RoundingMode::NearestTowardZero).unwrap();
+        // All three are one of the two neighbours; they may differ only on
+        // exact halfway literals.
+        prop_assert!(toward <= away);
+        prop_assert!(even == away || even == toward);
+    }
+
+    #[test]
+    fn binary_base_round_trip(bits: u64) {
+        let v = f64::from_bits(bits & !(1 << 63));
+        if v.is_finite() && v > 0.0 {
+            // Write v exactly in binary scientific form and read it back.
+            let (_, m, e) = v.decode().finite_parts().unwrap();
+            let mantissa_bits = format!("{m:b}");
+            let s = format!("{mantissa_bits}@{e}");
+            let got: f64 = read_float(&s, 2, RoundingMode::NearestEven).unwrap();
+            prop_assert_eq!(got.to_bits(), v.to_bits(), "{}", s);
+        }
+    }
+}
+
+#[test]
+fn exponent_marker_rules() {
+    // 'e' is a digit in base 16, so "1e1" is the integer 0x1e1.
+    let v: f64 = read_float("1e1", 16, RoundingMode::NearestEven).unwrap();
+    assert_eq!(v, 481.0);
+    // '@' works in every base.
+    let v: f64 = read_float("1@1", 16, RoundingMode::NearestEven).unwrap();
+    assert_eq!(v, 16.0);
+    let v: f64 = read_float("1@2", 10, RoundingMode::NearestEven).unwrap();
+    assert_eq!(v, 100.0);
+}
+
+#[test]
+fn worst_case_literals() {
+    // Literals historically mis-rounded by naive implementations.
+    for (s, bits) in [
+        // PHP/Java hang value: exactly representable boundary stress.
+        ("2.2250738585072011e-308", 0x000F_FFFF_FFFF_FFFFu64),
+        // Largest double.
+        ("1.7976931348623157e308", 0x7FEF_FFFF_FFFF_FFFF),
+    ] {
+        let got = read_f64(s).unwrap();
+        assert_eq!(got.to_bits(), bits, "{s}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generators for the `fpp` evaluation.
+//!
+//! The paper's measurements (Tables 2–3) run over "a set of 250,680 positive
+//! normalized IEEE double-precision floating-point numbers … generated
+//! according to the forms Schryer developed for testing floating-point
+//! units" (N. L. Schryer, *A Test of a Computer's Floating-Point Arithmetic
+//! Unit*, 1981). Schryer's forms are structured mantissa bit patterns —
+//! all-zeros, all-ones, walking ones/zeros, alternating blocks — swept
+//! across the full exponent range, chosen to sit at or near the boundaries
+//! where rounding errors surface.
+//!
+//! The 1981 test set itself is not machine-readable today, so [`schryer`]
+//! regenerates the same *family*: every pattern class above, at every normal
+//! binary exponent, deduplicated — a deterministic set of comparable size
+//! (see [`schryer::SchryerSet::len`]). [`random`] supplies uniform-bits and
+//! log-uniform generators for property tests, and [`special`] the usual
+//! corner-case gallery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod random;
+pub mod schryer;
+pub mod special;
+
+pub use random::{log_uniform_doubles, uniform_bit_doubles};
+pub use schryer::SchryerSet;
+pub use special::special_values;

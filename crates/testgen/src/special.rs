@@ -1,0 +1,85 @@
+//! Hand-picked corner cases: the values float-printing bugs are made of.
+
+/// Positive finite doubles that exercise every known tricky region:
+/// format boundaries, subnormals, exact powers, halfway literals, and the
+/// classic regression values from float-conversion folklore.
+///
+/// ```
+/// let specials = fpp_testgen::special_values();
+/// assert!(specials.contains(&f64::MAX));
+/// assert!(specials.iter().all(|v| v.is_finite() && *v > 0.0));
+/// ```
+#[must_use]
+#[allow(clippy::excessive_precision)] // literals are exact shortest forms of test values
+pub fn special_values() -> Vec<f64> {
+    let mut v = vec![
+        // Format boundaries.
+        f64::MAX,
+        f64::MIN_POSITIVE,           // smallest normal
+        f64::from_bits(1),           // smallest subnormal
+        f64::from_bits(0xF_FFFF_FFFF_FFFF), // largest subnormal
+        // (largest subnormal also reachable as MIN_POSITIVE - 1 ulp; dedup below)
+        // The paper's flagship example: exactly halfway between doubles.
+        1e23,
+        9.999999999999999e22,
+        // Shortest-output regression classics.
+        0.1,
+        0.3,
+        2.0f64.powi(-30),
+        1.0 / 3.0,
+        5e-324,
+        2.2250738585072014e-308, // smallest normal, decimal form
+        2.225073858507201e-308, // just below the smallest normal (PHP/Java hang region)
+        9.109383632e-31,         // electron mass: dense digits
+        6.02214076e23,
+        // Powers of two around precision boundaries.
+        2.0f64.powi(52),
+        2.0f64.powi(53),
+        2.0f64.powi(53) - 1.0,
+        2.0f64.powi(53) + 2.0,
+        1.0 + f64::EPSILON,
+        2.0 - f64::EPSILON,
+        // Values with long shortest representations (17 digits).
+        1.7976931348623157e308,
+        5.0e-324,
+        // Mid-range innocuous values.
+        1.0,
+        2.0,
+        10.0,
+        100.0,
+        0.5,
+        0.25,
+        123.456,
+        std::f64::consts::PI,
+        std::f64::consts::E,
+    ];
+    // Powers of ten across the full range (exactly representable or not).
+    for e in (-300..=300).step_by(25) {
+        v.push(10f64.powi(e));
+    }
+    v.sort_by(f64::total_cmp);
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_positive_finite_unique() {
+        let v = special_values();
+        assert!(v.len() > 40);
+        assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+        let mut bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), v.len(), "duplicates survived");
+    }
+
+    #[test]
+    fn sorted_ascending() {
+        let v = special_values();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,58 @@
+//! Fixed-format showcase: the `#`-mark semantics of §4 on the workloads the
+//! paper's introduction motivates — denormalized numbers (little precision)
+//! and printing to many digits.
+//!
+//! ```bash
+//! cargo run --example fixed_report
+//! ```
+
+use fpp::core::{FixedFormat, Notation};
+
+fn main() {
+    println!("§4 fixed format: correctly rounded output, # past significance\n");
+
+    // Printing to a large number of digits: precision visibly runs out.
+    println!("20 fractional places:");
+    let f20 = FixedFormat::new()
+        .fraction_digits(20)
+        .notation(Notation::Positional);
+    for v in [1.0 / 3.0, 0.1, 0.5, std::f64::consts::PI / 10.0] {
+        println!("  {v:<22} -> {}", f20.format(v));
+    }
+
+    // Denormalized numbers may have only a few significant digits.
+    println!("\ndenormals at 25 significant digits:");
+    let s25 = FixedFormat::new().significant_digits(25);
+    for v in [5e-324, 1.5e-323, 2.0e-310, f64::MIN_POSITIVE] {
+        println!("  {v:<12e} -> {}", s25.format(v));
+    }
+
+    // Absolute positions: rounding at any digit, like printf %.Nf but honest.
+    println!("\nabsolute positions for 1234.5678:");
+    for j in [-6, -4, -2, 0, 2] {
+        let f = FixedFormat::new()
+            .absolute_position(j)
+            .notation(Notation::Positional);
+        println!("  position {j:>3} -> {}", f.format(1234.5678));
+    }
+
+    // The paper's example: 100 to position -20.
+    let paper = FixedFormat::new()
+        .absolute_position(-20)
+        .notation(Notation::Positional);
+    println!("\npaper example, 100 to position -20:\n  {}", paper.format(100.0));
+
+    // Disable the marks to see the conventional (lying) rendering.
+    let conventional = FixedFormat::new()
+        .fraction_digits(20)
+        .hash_marks(false)
+        .notation(Notation::Positional);
+    println!(
+        "\nsame with hash_marks(false) for 1/3:\n  {}",
+        conventional.format(1.0 / 3.0)
+    );
+
+    // f32: the paper's ~7-digit illustration.
+    let f10 = FixedFormat::new().fraction_digits(10);
+    println!("\nf32 1/3 to 10 places:\n  {}", f10.format_f32(1.0f32 / 3.0));
+}

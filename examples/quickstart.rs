@@ -1,0 +1,58 @@
+//! Quickstart: a tour of the `fpp` public API.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use fpp::core::{Notation, ScalingStrategy, TieBreak};
+use fpp::float::RoundingMode;
+use fpp::{print_shortest, FixedFormat, FreeFormat};
+
+fn main() {
+    // ── Free format: the shortest string that reads back identically ──────
+    println!("free format (shortest, round-tripping):");
+    for v in [0.1, 0.3, 1.0 / 3.0, 1e23, 5e-324, f64::MAX] {
+        println!("  {v:>25e}  ->  {}", print_shortest(v));
+    }
+
+    // The rounding-mode awareness of §3.1: with IEEE unbiased reading,
+    // 1e23 prints as 1e23; a conservative printer needs 16 digits.
+    let conservative = FreeFormat::new().rounding(RoundingMode::Conservative);
+    println!("\ninput-rounding awareness (1e23):");
+    println!("  assuming round-to-even reader : {}", print_shortest(1e23));
+    println!("  assuming unknown reader       : {}", conservative.format(1e23));
+
+    // ── Fixed format with # marks (§4) ─────────────────────────────────────
+    println!("\nfixed format (# marks insignificant digits):");
+    let f10 = FixedFormat::new().fraction_digits(10);
+    println!("  f32 1/3 to 10 places  : {}", f10.format_f32(1.0f32 / 3.0));
+    let pos20 = FixedFormat::new()
+        .absolute_position(-20)
+        .notation(Notation::Positional);
+    println!("  100.0 to position -20 : {}", pos20.format(100.0));
+    let denormal = FixedFormat::new().significant_digits(20);
+    println!("  5e-324 to 20 digits   : {}", denormal.format(5e-324));
+
+    // ── Other bases, notations, strategies ────────────────────────────────
+    println!("\nother bases and options:");
+    let hex = FreeFormat::new().base(16).notation(Notation::Positional);
+    println!("  255.0 in base 16      : {}", hex.format(255.0));
+    let bin = FreeFormat::new().base(2).notation(Notation::Scientific);
+    println!("  0.625 in base 2       : {}", bin.format(0.625));
+    let iter = FreeFormat::new().strategy(ScalingStrategy::Iterative);
+    println!(
+        "  Steele-White scaling  : {} (same output, ~100x slower scaling)",
+        iter.format(6.02214076e23)
+    );
+    let even_ties = FreeFormat::new().tie_break(TieBreak::Even);
+    println!("  even tie-breaking     : {}", even_ties.format(0.5));
+
+    // ── The accurate reader (round-trip verification in-repo) ─────────────
+    println!("\naccurate reader:");
+    let s = print_shortest(0.1 + 0.2);
+    let back = fpp::reader::read_f64(&s).expect("well-formed");
+    println!("  0.1 + 0.2 prints as {s}; reads back equal: {}", back == 0.1 + 0.2);
+    let truncating: f64 =
+        fpp::reader::read_float("0.1", 10, RoundingMode::TowardZero).expect("well-formed");
+    println!("  \"0.1\" under truncating read : {}", print_shortest(truncating));
+}

@@ -1,0 +1,109 @@
+//! Round-trip audit: empirically verifies the two output conditions of §2.2
+//! over a large sample — every printed value reads back identically
+//! (information preservation) and no shorter digit string would (minimal
+//! length) — and reports digit-length statistics.
+//!
+//! ```bash
+//! cargo run --release --example roundtrip_audit [count]
+//! ```
+
+use fpp::bignum::PowerTable;
+use fpp::core::{free_format_digits, render, Digits, Notation, ScalingStrategy, TieBreak};
+use fpp::float::{RoundingMode, SoftFloat};
+use fpp::testgen::{special_values, uniform_bit_doubles};
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    let mut powers = PowerTable::with_capacity(10, 350);
+    let mut histogram = [0u64; 18];
+    let mut checked = 0u64;
+    let mut shorter_would_work = 0u64;
+
+    let values = special_values()
+        .into_iter()
+        .chain(uniform_bit_doubles(20260704).take(count));
+
+    for v in values {
+        let sf = SoftFloat::from_f64(v).expect("positive finite");
+        let digits = free_format_digits(
+            &sf,
+            ScalingStrategy::Estimate,
+            RoundingMode::NearestEven,
+            TieBreak::Up,
+            &mut powers,
+        );
+        // Output condition 1: the rendered string reads back as v — through
+        // the std parser and through our own accurate reader.
+        let s = render(&digits, Notation::Scientific);
+        let std_back: f64 = s.parse().expect("well-formed");
+        assert_eq!(std_back, v, "std round-trip failed for {s}");
+        let own_back = fpp::reader::read_f64(&s).expect("well-formed");
+        assert_eq!(own_back, v, "fpp round-trip failed for {s}");
+
+        // Output condition 2 (minimal length): truncating to n-1 digits,
+        // rounded either way, must not read back as v.
+        let n = digits.digits.len();
+        if n > 1 {
+            let mut trunc = digits.digits.clone();
+            trunc.pop();
+            let down = Digits {
+                digits: trunc.clone(),
+                k: digits.k,
+            };
+            let down_v: f64 = render(&down, Notation::Scientific).parse().unwrap();
+            let mut up_digits = trunc;
+            let mut carry_k = digits.k;
+            // increment with carry (a carry means all nines -> 1 with k+1)
+            let mut i = up_digits.len();
+            loop {
+                if i == 0 {
+                    up_digits.insert(0, 1);
+                    up_digits.pop();
+                    carry_k += 1;
+                    break;
+                }
+                i -= 1;
+                if up_digits[i] == 9 {
+                    up_digits[i] = 0;
+                } else {
+                    up_digits[i] += 1;
+                    break;
+                }
+            }
+            let up = Digits {
+                digits: up_digits,
+                k: carry_k,
+            };
+            let up_v: f64 = render(&up, Notation::Scientific).parse().unwrap();
+            if down_v == v || up_v == v {
+                shorter_would_work += 1;
+            }
+        }
+        histogram[n] += 1;
+        checked += 1;
+    }
+
+    println!("audited {checked} values: all round-trips exact");
+    assert_eq!(
+        shorter_would_work, 0,
+        "minimality violated on {shorter_would_work} values"
+    );
+    println!("minimality: no (n-1)-digit truncation round-tripped\n");
+    println!("{:>7} {:>10}", "digits", "count");
+    let total: u64 = histogram.iter().sum();
+    let sum: u64 = histogram
+        .iter()
+        .enumerate()
+        .map(|(l, &c)| l as u64 * c)
+        .sum();
+    for (len, &c) in histogram.iter().enumerate() {
+        if c > 0 {
+            println!("{len:>7} {c:>10}");
+        }
+    }
+    println!("\nmean digits: {:.2}", sum as f64 / total as f64);
+}

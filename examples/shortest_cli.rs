@@ -1,0 +1,78 @@
+//! A command-line shortest-printer: reads floating-point literals from the
+//! command line (or stdin, one per line) and shows how each prints under
+//! every supported reader rounding mode, plus a diagnostic decomposition.
+//!
+//! ```bash
+//! cargo run --example shortest_cli -- 0.1 1e23 3.14159
+//! echo "6.02214076e23" | cargo run --example shortest_cli
+//! ```
+
+use fpp::core::FreeFormat;
+use fpp::float::{Decoded, FloatFormat, RoundingMode};
+use std::io::BufRead;
+
+fn describe(input: &str) {
+    let v: f64 = match fpp::reader::read_f64(input.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{input:?}: {e}");
+            return;
+        }
+    };
+    println!("{input}");
+    match v.decode() {
+        Decoded::Finite {
+            negative,
+            mantissa,
+            exponent,
+        } => {
+            println!(
+                "  value      = {}{} x 2^{}  (bits {:#018x})",
+                if negative { "-" } else { "" },
+                mantissa,
+                exponent,
+                v.to_bits()
+            );
+        }
+        other => println!("  value      = {other:?}"),
+    }
+    let modes = [
+        ("nearest-even ", RoundingMode::NearestEven),
+        ("nearest-away ", RoundingMode::NearestAwayFromZero),
+        ("toward-zero  ", RoundingMode::TowardZero),
+        ("away-fromzero", RoundingMode::AwayFromZero),
+        ("conservative ", RoundingMode::Conservative),
+    ];
+    for (name, mode) in modes {
+        let s = FreeFormat::new().rounding(mode).format(v);
+        // verify the round-trip through our own reader with that mode
+        let back: f64 = fpp::reader::read_float(&s, 10, mode).unwrap_or(f64::NAN);
+        let ok = back == v || (back.is_nan() && v.is_nan());
+        println!(
+            "  {} : {:<25} {}",
+            name,
+            s,
+            if ok { "(round-trips)" } else { "(MISMATCH!)" }
+        );
+    }
+    println!("  hex (%a)      : {}", fpp::printf::format_a(v, None));
+    println!("  scheme        : {}", fpp::scheme::number_to_string(v, 10));
+    println!("  printf %.17e  : {}", fpp::printf::format_e(v, 17));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.expect("stdin is readable");
+            if !line.trim().is_empty() {
+                describe(&line);
+            }
+        }
+    } else {
+        for arg in args {
+            describe(&arg);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Beyond f64: the printing algorithm is generic in the float format.
+//!
+//! This example prints values of formats no Rust hardware type provides —
+//! IEEE binary16, bfloat16, a 3-digit *decimal* float and a trit-based
+//! ternary float — and reads each back with the generic accurate reader.
+//!
+//! ```bash
+//! cargo run --example toy_formats
+//! ```
+
+use fpp::bignum::Nat;
+use fpp::core::{FreeFormat, Notation};
+use fpp::float::{Bf16, F16, RoundingMode, SoftFloat};
+use fpp::reader::{read_soft, SoftFormat, SoftReadResult};
+
+fn main() {
+    // ── binary16 / bfloat16 ───────────────────────────────────────────────
+    println!("16-bit hardware-style formats:");
+    let fmt = FreeFormat::new();
+    for bits in [0x3C00u16, 0x3555, 0x7BFF, 0x0001] {
+        let h = F16::from_bits(bits);
+        println!(
+            "  f16  {bits:#06x} = {:<12} prints as {:>10}",
+            h.to_f64(),
+            fmt.format_float(h)
+        );
+    }
+    for bits in [0x3F80u16, 0x4049, 0x0080] {
+        let b = Bf16::from_bits(bits);
+        println!(
+            "  bf16 {bits:#06x} = {:<12} prints as {:>10}",
+            b.to_f64(),
+            fmt.format_float(b)
+        );
+    }
+
+    // ── a decimal float (like IEEE 754 decimal32's spirit, 3 digits) ─────
+    println!("\na 3-digit decimal float (b=10, p=3):");
+    let dec3 = SoftFormat {
+        base: 10,
+        precision: 3,
+        min_exp: -10,
+        max_exp: 10,
+    };
+    let (neg, read) = read_soft("0.33333333", 10, RoundingMode::NearestEven, &dec3)
+        .expect("well-formed");
+    assert!(!neg);
+    if let SoftReadResult::Finite(v) = read {
+        println!("  reading 0.33333333 stores {v}");
+        let digits = FreeFormat::new().digits(&v);
+        println!(
+            "  which prints (shortest) as {}",
+            fpp::core::render(&digits, Notation::default())
+        );
+    }
+
+    // ── a ternary float, printed in base 3 and base 10 ────────────────────
+    println!("\na ternary float (b=3, p=4): value 2/3");
+    let v = SoftFloat::new(Nat::from(54u64), -4, 3, 4, -10).expect("valid"); // 54×3⁻⁴ = 2/3
+    let base3 = FreeFormat::new().base(3).notation(Notation::Positional);
+    let base10 = FreeFormat::new();
+    println!("  stored: {v}");
+    println!("  shortest in base 3 : {}", {
+        let d = base3.digits(&v);
+        fpp::core::render_in_base(&d, Notation::Positional, 3)
+    });
+    println!("  shortest in base 10: {}", {
+        let d = base10.digits(&v);
+        fpp::core::render(&d, Notation::default())
+    });
+
+    // ── printf layer ──────────────────────────────────────────────────────
+    println!("\nprintf-style conversions (always correctly rounded):");
+    for (v, p) in [(2.675f64, 2u32), (1e21, 0), (0.000123456, 4)] {
+        println!(
+            "  %.{p}f of {v:<12} = {:<26} %.{p}e = {:<14} %.{p}g = {}",
+            fpp::printf::format_f(v, p),
+            fpp::printf::format_e(v, p),
+            fpp::printf::format_g(v, p.max(1)),
+        );
+    }
+    println!("\nhex floats (%a) — exact binary I/O:");
+    for v in [3.0f64, 0.1, 5e-324] {
+        let s = fpp::printf::format_a(v, None);
+        let back: f64 = fpp::reader::read_hex(&s).expect("well-formed");
+        println!("  {v:<12e} = {s:<28} reads back equal: {}", back == v);
+    }
+
+    // ── the paper's motivation: Scheme number I/O ─────────────────────────
+    println!("\nScheme number->string (minimal length, R7RS):");
+    for v in [0.3f64, 1.0, 1e23, 0.5] {
+        println!(
+            "  {v:<8} -> {:<10} (radix 2: {})",
+            fpp::scheme::number_to_string(v, 10),
+            fpp::scheme::number_to_string(v, 2),
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # fpp — fast and accurate floating-point printing
+//!
+//! A production-quality Rust implementation of Robert G. Burger and R. Kent
+//! Dybvig's *Printing Floating-Point Numbers Quickly and Accurately*
+//! (PLDI 1996), together with the substrates and baselines needed to
+//! reproduce the paper's evaluation.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`core`] — the printing algorithms: free-format shortest output,
+//!   fixed-format output with `#` marks, fast scaling estimators.
+//! * [`bignum`] — the arbitrary-precision arithmetic substrate.
+//! * [`float`] — IEEE-754 decomposition and the generalized float model.
+//! * [`reader`] — accurate (correctly rounded) decimal→binary reading.
+//! * [`baseline`] — the comparison printers from the paper's evaluation.
+//! * [`testgen`] — Schryer-style workload generators.
+//!
+//! # Quick start
+//!
+//! ```
+//! // Shortest output that reads back to exactly the same f64:
+//! assert_eq!(fpp::print_shortest(0.3), "0.3");
+//! assert_eq!(fpp::print_shortest(1e23), "1e23");
+//!
+//! // Fixed-format output marks insignificant digits with `#`:
+//! let s = fpp::FixedFormat::new()
+//!     .significant_digits(10)
+//!     .format(1.0f64 / 3.0);
+//! assert_eq!(s, "0.3333333333");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod printf;
+pub mod scheme;
+
+pub use fpp_baseline as baseline;
+pub use fpp_bignum as bignum;
+pub use fpp_core as core;
+pub use fpp_float as float;
+pub use fpp_reader as reader;
+pub use fpp_testgen as testgen;
+
+pub use fpp_core::{print_shortest, print_shortest_base, FixedFormat, FreeFormat};

@@ -1,0 +1,162 @@
+//! Scheme-standard numeric I/O (`number->string` / `string->number`).
+//!
+//! The paper closes: "the ANSI/IEEE Scheme standard requirement for
+//! accurate, minimal-length numeric output and the desire to do so as
+//! efficiently as possible in Chez Scheme motivated the work reported
+//! here." This module provides that interface with R7RS conventions:
+//!
+//! * [`number_to_string`] — minimal-length output that reads back exactly
+//!   (the standard's requirement, satisfied by free format), radixes 2, 8,
+//!   10 and 16, specials spelled `+inf.0` / `-inf.0` / `+nan.0`;
+//! * [`string_to_number`] — accurate reading with radix prefixes
+//!   (`#b`, `#o`, `#d`, `#x`) and exponent notation in radix 10.
+
+use fpp_core::{FreeFormat, Notation};
+use fpp_float::{Decoded, FloatFormat, RoundingMode};
+use fpp_reader::read_float;
+
+/// Converts an inexact real to its Scheme external representation in the
+/// given radix: the shortest string that `string_to_number` maps back to
+/// exactly the same value, with a decimal point or exponent so the result
+/// reads as *inexact* (R7RS requires `1.0`, not `1`, for the inexact one).
+///
+/// # Panics
+///
+/// Panics if `radix` is not 2, 8, 10 or 16.
+///
+/// ```
+/// use fpp::scheme::number_to_string;
+/// assert_eq!(number_to_string(0.3, 10), "0.3");
+/// assert_eq!(number_to_string(1.0, 10), "1.0");
+/// assert_eq!(number_to_string(1e23, 10), "1e23");
+/// assert_eq!(number_to_string(f64::INFINITY, 10), "+inf.0");
+/// assert_eq!(number_to_string(-0.0, 10), "-0.0");
+/// assert_eq!(number_to_string(0.5, 2), "0.1");
+/// ```
+#[must_use]
+pub fn number_to_string(v: f64, radix: u32) -> String {
+    assert!(
+        matches!(radix, 2 | 8 | 10 | 16),
+        "Scheme radix must be 2, 8, 10 or 16"
+    );
+    match v.decode() {
+        Decoded::Nan => return "+nan.0".to_string(),
+        Decoded::Infinite { negative } => {
+            return if negative { "-inf.0" } else { "+inf.0" }.to_string()
+        }
+        Decoded::Zero { negative } => {
+            return if negative { "-0.0" } else { "0.0" }.to_string()
+        }
+        Decoded::Finite { .. } => {}
+    }
+    // Exponent notation exists only in radix 10; other radixes are always
+    // positional (Chez behaves the same way).
+    let notation = if radix == 10 {
+        Notation::default()
+    } else {
+        Notation::Positional
+    };
+    let s = FreeFormat::new()
+        .base(u64::from(radix))
+        .notation(notation)
+        .format(v);
+    // R7RS: the representation of an inexact number must contain a decimal
+    // point, an exponent, or both — "1" alone would read back exact.
+    if s.contains('.') || s.contains('e') || s.contains('@') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Parses a Scheme real literal into an `f64`: optional radix prefix
+/// (`#b` 2, `#o` 8, `#d` 10, `#x` 16), `+inf.0` / `-inf.0` / `+nan.0` /
+/// `-nan.0`, and ordinary (possibly exponent-bearing) numerals in the
+/// chosen radix. Returns `None` for anything unparsable — Scheme's
+/// `string->number` convention.
+///
+/// ```
+/// use fpp::scheme::string_to_number;
+/// assert_eq!(string_to_number("0.3"), Some(0.3));
+/// assert_eq!(string_to_number("#b0.1"), Some(0.5));
+/// assert_eq!(string_to_number("#xff"), Some(255.0));
+/// assert_eq!(string_to_number("+inf.0"), Some(f64::INFINITY));
+/// assert_eq!(string_to_number("nope"), None);
+/// ```
+#[must_use]
+pub fn string_to_number(s: &str) -> Option<f64> {
+    let (radix, body) = match s.get(..2) {
+        Some("#b") | Some("#B") => (2u64, &s[2..]),
+        Some("#o") | Some("#O") => (8, &s[2..]),
+        Some("#d") | Some("#D") => (10, &s[2..]),
+        Some("#x") | Some("#X") => (16, &s[2..]),
+        _ => (10, s),
+    };
+    match body {
+        "+inf.0" => return Some(f64::INFINITY),
+        "-inf.0" => return Some(f64::NEG_INFINITY),
+        "+nan.0" | "-nan.0" => return Some(f64::NAN),
+        _ => {}
+    }
+    read_float::<f64>(body, radix, RoundingMode::NearestEven).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_length_round_trip_requirement() {
+        // The standard's demand: write must be the shortest string read
+        // maps back exactly.
+        for v in [0.1, 0.3, 1.0 / 3.0, 1e23, 5e-324, f64::MAX, 1.5, 100.0] {
+            let s = number_to_string(v, 10);
+            assert_eq!(string_to_number(&s), Some(v), "{s}");
+        }
+    }
+
+    #[test]
+    fn inexactness_marker_is_preserved() {
+        assert_eq!(number_to_string(1.0, 10), "1.0");
+        assert_eq!(number_to_string(100.0, 10), "100.0");
+        assert_eq!(number_to_string(-3.0, 10), "-3.0");
+        // radix-16 integers also get the marker
+        assert_eq!(number_to_string(255.0, 16), "ff.0");
+    }
+
+    #[test]
+    fn non_decimal_radixes_round_trip() {
+        for v in [0.5f64, 0.75, 255.0, 1.0 / 3.0, 1024.0, 6.25e-2] {
+            for (radix, prefix) in [(2u32, "#b"), (8, "#o"), (16, "#x")] {
+                let s = number_to_string(v, radix);
+                let tagged = format!("{prefix}{s}");
+                assert_eq!(string_to_number(&tagged), Some(v), "{tagged}");
+            }
+        }
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(number_to_string(f64::NAN, 10), "+nan.0");
+        assert_eq!(string_to_number("+nan.0").map(f64::is_nan), Some(true));
+        assert_eq!(string_to_number("-inf.0"), Some(f64::NEG_INFINITY));
+        assert_eq!(number_to_string(-0.0, 10), "-0.0");
+        assert_eq!(
+            string_to_number("-0.0").map(f64::to_bits),
+            Some((-0.0f64).to_bits())
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_like_scheme() {
+        for bad in ["", "hello", "#q1", "1.2.3", "#x1.8p0", "--1"] {
+            assert_eq!(string_to_number(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radix must be")]
+    fn bad_radix_panics() {
+        let _ = number_to_string(1.0, 12);
+    }
+}

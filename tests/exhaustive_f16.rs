@@ -1,0 +1,108 @@
+//! Exhaustive whole-pipeline verification over *every* value of the 16-bit
+//! formats: print shortest → read back → bit-identical, and the shortest
+//! string really is shortest (dropping a digit breaks the round-trip).
+//!
+//! This is the strongest end-to-end statement the repository makes: for a
+//! complete IEEE format (binary16) and a complete non-IEEE format
+//! (bfloat16), output condition 1 and output condition 2 of §2.2 hold for
+//! all 2¹⁶ bit patterns with no sampling.
+
+use fpp::core::{FreeFormat, Notation};
+use fpp::float::{Bf16, Decoded, F16, FloatFormat, RoundingMode};
+use fpp::reader::read_float;
+
+fn exhaustive_round_trip<F: FloatFormat + Copy>(make: fn(u16) -> F, bits_of: fn(F) -> u16) {
+    let fmt = FreeFormat::new().notation(Notation::Scientific);
+    let mut checked = 0u32;
+    for bits in 0..=u16::MAX {
+        let v = make(bits);
+        match v.decode() {
+            Decoded::Finite { .. } => {}
+            _ => continue,
+        }
+        let s = fmt.format_float(v);
+        let back: F = read_float(&s, 10, RoundingMode::NearestEven).expect("well-formed");
+        assert_eq!(bits_of(back), bits, "{s} (bits {bits:#06x})");
+        checked += 1;
+    }
+    assert!(checked > 60_000);
+}
+
+fn exhaustive_minimality<F: FloatFormat + Copy>(make: fn(u16) -> F, bits_of: fn(F) -> u16) {
+    let fmt = FreeFormat::new().notation(Notation::Scientific);
+    for bits in 0..=u16::MAX {
+        let v = make(bits);
+        let (negative, ..) = match v.decode() {
+            Decoded::Finite {
+                negative,
+                mantissa,
+                exponent,
+            } => (negative, mantissa, exponent),
+            _ => continue,
+        };
+        if negative {
+            continue; // sign-symmetric; positive half suffices
+        }
+        let s = fmt.format_float(v);
+        let (mantissa_txt, exp_txt) = s.split_once('e').expect("scientific form");
+        let digits: String = mantissa_txt.chars().filter(char::is_ascii_digit).collect();
+        if digits.len() <= 1 {
+            continue;
+        }
+        // Truncate one digit, reattach, and try both roundings.
+        let n = digits.len();
+        let trunc = &digits[..n - 1];
+        let down = format!("0.{}e{}", trunc, exp_txt.parse::<i32>().unwrap() + 1);
+        let down_v: F = read_float(&down, 10, RoundingMode::NearestEven).expect("well-formed");
+        assert_ne!(
+            bits_of(down_v),
+            bits,
+            "truncation of {s} still round-trips"
+        );
+        let bumped: u64 = trunc.parse::<u64>().unwrap() + 1;
+        let up = format!("0.{}e{}", bumped, exp_txt.parse::<i32>().unwrap() + 1);
+        let up_v: F = read_float(&up, 10, RoundingMode::NearestEven).expect("well-formed");
+        assert_ne!(
+            bits_of(up_v),
+            bits,
+            "increment of truncated {s} still round-trips"
+        );
+    }
+}
+
+#[test]
+fn all_f16_values_round_trip() {
+    exhaustive_round_trip(F16::from_bits, F16::to_bits);
+}
+
+#[test]
+fn all_bf16_values_round_trip() {
+    exhaustive_round_trip(Bf16::from_bits, Bf16::to_bits);
+}
+
+#[test]
+fn all_f16_outputs_are_minimal() {
+    exhaustive_minimality(F16::from_bits, F16::to_bits);
+}
+
+#[test]
+fn all_bf16_outputs_are_minimal() {
+    exhaustive_minimality(Bf16::from_bits, Bf16::to_bits);
+}
+
+#[test]
+fn f16_shortest_digit_statistics() {
+    // binary16 needs at most 5 significant decimal digits; verify the
+    // maximum and that the known worst cases need all 5.
+    let fmt = FreeFormat::new().notation(Notation::Scientific);
+    let mut max_len = 0usize;
+    for bits in 0..0x7C00u16 {
+        if bits == 0 {
+            continue;
+        }
+        let s = fmt.format_float(F16::from_bits(bits));
+        let digits = s.split('e').next().unwrap().chars().filter(char::is_ascii_digit).count();
+        max_len = max_len.max(digits);
+    }
+    assert_eq!(max_len, 5);
+}

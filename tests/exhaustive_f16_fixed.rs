@@ -1,0 +1,62 @@
+//! Exhaustive fixed-format verification over binary16: for every positive
+//! finite f16 and a sweep of positions, the optimized fixed-format
+//! implementation must agree with the exact rational oracle of §4.
+
+use fpp::bignum::{Nat, PowerTable};
+use fpp::core::{fixed_digits_exact, fixed_format_digits_absolute, ScalingStrategy, TieBreak};
+use fpp::float::{Decoded, F16, FloatFormat, SoftFloat};
+
+fn soft_of(v: F16) -> Option<SoftFloat> {
+    match v.decode() {
+        Decoded::Finite {
+            negative: false,
+            mantissa,
+            exponent,
+        } => Some(
+            SoftFloat::new(
+                Nat::from(mantissa),
+                exponent,
+                2,
+                <F16 as FloatFormat>::PRECISION,
+                <F16 as FloatFormat>::MIN_EXP,
+            )
+            .expect("valid"),
+        ),
+        _ => None,
+    }
+}
+
+#[test]
+fn all_f16_fixed_format_matches_oracle() {
+    let mut powers = PowerTable::new(10);
+    let mut checked = 0u32;
+    for bits in 1..0x7C00u16 {
+        let Some(v) = soft_of(F16::from_bits(bits)) else {
+            continue;
+        };
+        // Sample positions around each value's own magnitude plus fixed ones.
+        for j in [-9i32, -4, 0, 2] {
+            let fast =
+                fixed_format_digits_absolute(&v, j, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
+            let slow = fixed_digits_exact(&v, 10, j, TieBreak::Up);
+            assert_eq!(fast, slow, "bits {bits:#06x} position {j}");
+        }
+        checked += 1;
+    }
+    assert!(checked > 31_000);
+}
+
+#[test]
+fn all_f16_fixed_outputs_read_back_when_precise_enough() {
+    // At 6 significant digits (>= the 5 every f16 needs), the fixed output
+    // with # marks must read back bit-identically.
+    use fpp::core::FixedFormat;
+    let fmt = FixedFormat::new().significant_digits(6);
+    for bits in 1..0x7C00u16 {
+        let h = F16::from_bits(bits);
+        let s = fmt.format_float(h);
+        let back: F16 = fpp::reader::read_float(&s, 10, fpp::float::RoundingMode::NearestEven)
+            .expect("well-formed");
+        assert_eq!(back.to_bits(), bits, "{s}");
+    }
+}

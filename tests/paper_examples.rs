@@ -1,0 +1,119 @@
+//! Golden tests: every concrete example that appears in the paper's text.
+
+use fpp::core::{FixedFormat, FreeFormat, Notation};
+use fpp::float::RoundingMode;
+use fpp::print_shortest;
+
+#[test]
+fn section_1_free_format_motivation() {
+    // "For example, 3/10 would print as 0.3 instead of 0.2999999."
+    assert_eq!(print_shortest(0.3), "0.3");
+}
+
+#[test]
+fn section_1_fixed_format_motivation() {
+    // "the floating-point representation of 1/3 might print as 0.3333333148
+    //  even though only the first seven digits are significant. The
+    //  algorithm uses special # marks … so 1/3 prints as 0.3333333###."
+    // The illustration assumes a ~7-digit format; for IEEE single precision
+    // the analogous behaviour is: ten places show the precision running out
+    // in # marks instead of garbage digits.
+    let f10 = FixedFormat::new()
+        .fraction_digits(10)
+        .notation(Notation::Positional);
+    let s = f10.format_f32(1.0f32 / 3.0);
+    assert!(s.ends_with("##"), "{s}");
+    assert!(!s.contains("148"), "no garbage digits: {s}");
+    assert_eq!(s, "0.33333334##");
+}
+
+#[test]
+fn section_3_1_unbiased_rounding_1e23() {
+    // "1e23 falls exactly between two IEEE floating-point numbers, the
+    //  smaller of which has an even mantissa; thus 1e23 rounds to the
+    //  smaller when input. By accommodating unbiased rounding, the
+    //  algorithm prints this number as 1e23 instead of
+    //  9.999999999999999e22."
+    let v = 1e23f64;
+    // the stored value is the smaller neighbour with even mantissa:
+    let (_, mantissa, _) = fpp::float::FloatFormat::decode(v)
+        .finite_parts()
+        .expect("finite");
+    assert_eq!(mantissa % 2, 0);
+    assert_eq!(print_shortest(v), "1e23");
+    assert_eq!(
+        FreeFormat::new()
+            .rounding(RoundingMode::Conservative)
+            .format(v),
+        "9.999999999999999e22"
+    );
+}
+
+#[test]
+fn section_4_printing_100_to_position_20() {
+    // "when printing 100 in IEEE double-precision to digit position 20, the
+    //  algorithm prints 100.000000000000000#####."
+    let s = FixedFormat::new()
+        .absolute_position(-20)
+        .notation(Notation::Positional)
+        .format(100.0);
+    assert_eq!(s, "100.000000000000000#####");
+    // 15 significant fractional zeros, then 5 marks (3+15+5 = 23 positions).
+    assert_eq!(s.matches('#').count(), 5);
+}
+
+#[test]
+fn section_4_printing_100_to_position_0() {
+    // "Suppose 100 were printed to absolute position 0 … the remaining
+    //  digit positions are significant and must therefore be zero, not #."
+    let s = FixedFormat::new()
+        .absolute_position(0)
+        .notation(Notation::Positional)
+        .format(100.0);
+    assert_eq!(s, "100");
+}
+
+#[test]
+fn section_5_minimum_digits_to_distinguish() {
+    // "17 significant digits, the minimum number guaranteed to distinguish
+    //  among IEEE double-precision numbers."
+    // Spot-check: adjacent doubles yield distinct 17-digit expansions.
+    use fpp::baseline::simple_fixed::print_simple_fixed;
+    let v = 1.0f64 + f64::EPSILON;
+    let w = 1.0f64 + 2.0 * f64::EPSILON;
+    assert_ne!(print_simple_fixed(v), print_simple_fixed(w));
+    // and 16 digits would NOT always distinguish:
+    use fpp::baseline::simple_fixed::print_simple_fixed_digits;
+    let a = 0.1f64;
+    let b = 0.1f64.next_up();
+    assert_eq!(
+        print_simple_fixed_digits(a, 16),
+        print_simple_fixed_digits(b, 16),
+        "these neighbours collide at 16 digits"
+    );
+}
+
+#[test]
+fn abstract_free_format_definition() {
+    // "the shortest, correctly rounded output string that converts to the
+    //  same number when read back in" — demonstrated on digit-dense values.
+    for v in [
+        std::f64::consts::PI,
+        2.2250738585072014e-308,
+        6.62607015e-34,
+        1.616255e-35,
+    ] {
+        let s = print_shortest(v);
+        assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+    }
+}
+
+#[test]
+fn section_2_1_gaps_and_neighbours() {
+    // "Floating-point numbers are most dense around zero and decrease in
+    //  density as one moves outward" — successor gap doubles at powers of 2.
+    let below = 2.0f64.next_down();
+    let above = 2.0f64.next_up();
+    assert_eq!(2.0 - below, f64::EPSILON);
+    assert_eq!(above - 2.0, 2.0 * f64::EPSILON);
+}

@@ -1,0 +1,76 @@
+//! Differential tests for the printf-style layer against the Rust standard
+//! library's (correctly rounded) formatting.
+
+use fpp::printf::{format_e, format_f, format_g};
+use fpp::testgen::{special_values, uniform_bit_doubles};
+use proptest::prelude::*;
+
+#[test]
+fn format_f_matches_std_on_workload() {
+    for v in special_values()
+        .into_iter()
+        .chain(uniform_bit_doubles(31).take(500))
+    {
+        // Keep the comparison in the range std prints positionally with
+        // reasonable cost.
+        if !(1e-10..1e15).contains(&v) {
+            continue;
+        }
+        for p in [0usize, 1, 2, 6, 10] {
+            assert_eq!(format_f(v, p as u32), format!("{v:.p$}"), "{v} at {p}");
+            assert_eq!(format_f(-v, p as u32), format!("{:.p$}", -v), "-{v} at {p}");
+        }
+    }
+}
+
+#[test]
+fn format_e_digits_match_std_on_workload() {
+    for v in special_values()
+        .into_iter()
+        .chain(uniform_bit_doubles(32).take(500))
+    {
+        for p in [0usize, 3, 8, 15] {
+            let ours = format_e(v, p as u32);
+            let std = format!("{v:.p$e}");
+            assert_eq!(
+                ours.split('e').next(),
+                std.split('e').next(),
+                "{v} at {p}: {ours} vs {std}"
+            );
+            // Exponent value agrees (layout differs: we zero-pad and sign).
+            let our_exp: i32 = ours.split('e').nth(1).unwrap().parse().unwrap();
+            let std_exp: i32 = std.split('e').nth(1).unwrap().parse().unwrap();
+            assert_eq!(our_exp, std_exp, "{v} at {p}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn format_f_random(bits: u64, p in 0u32..12) {
+        let v = f64::from_bits(bits);
+        if v.is_finite() && (1e-12..1e12).contains(&v.abs()) {
+            prop_assert_eq!(format_f(v, p), format!("{:.*}", p as usize, v));
+        }
+    }
+
+    #[test]
+    fn format_e_random(bits: u64, p in 0u32..15) {
+        let v = f64::from_bits(bits);
+        if v.is_finite() && v != 0.0 {
+            let ours = format_e(v, p);
+            let std = format!("{:.*e}", p as usize, v);
+            prop_assert_eq!(ours.split('e').next(), std.split('e').next());
+        }
+    }
+
+    #[test]
+    fn format_g_round_trips_at_17(bits: u64) {
+        // %.17g output always reads back to the same double.
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            let s = format_g(v, 17);
+            prop_assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits(), "{}", s);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Reader edge cases: unusual-but-legal literals, hostile inputs, and the
+//! corners of the grammar.
+
+use fpp::float::RoundingMode;
+use fpp::reader::{read_f64, read_float, read_hex};
+
+#[test]
+fn leading_zeros_and_redundant_forms() {
+    assert_eq!(read_f64("000123.4500").unwrap(), 123.45);
+    assert_eq!(read_f64("0000.5").unwrap(), 0.5);
+    assert_eq!(read_f64("+0.5").unwrap(), 0.5);
+    assert_eq!(read_f64("5.").unwrap(), 5.0);
+    assert_eq!(read_f64(".5").unwrap(), 0.5);
+    assert_eq!(read_f64("1e+0").unwrap(), 1.0);
+    assert_eq!(read_f64("1E-0").unwrap(), 1.0);
+}
+
+#[test]
+fn zero_spellings() {
+    for s in ["0", "0.0", "0e99", "0.000e-99", "-0", "-0.0e5", ".0"] {
+        let v = read_f64(s).unwrap();
+        assert_eq!(v, 0.0, "{s}");
+        assert_eq!(v.is_sign_negative(), s.starts_with('-'), "{s}");
+    }
+}
+
+#[test]
+fn enormous_exponents_on_zero_and_nonzero() {
+    assert_eq!(read_f64("0e999999999999999999999999").unwrap(), 0.0);
+    assert!(read_f64("1e999999999999999999999999").unwrap().is_infinite());
+    assert_eq!(read_f64("1e-999999999999999999999999").unwrap(), 0.0);
+}
+
+#[test]
+fn exponent_applies_to_truncated_coefficients() {
+    // More digits than the exact-retention cap, balanced by the exponent:
+    // the value is still correctly rounded.
+    let mut s = "1".to_string();
+    s.push_str(&"0".repeat(2000));
+    s.push_str("e-2000");
+    assert_eq!(read_f64(&s).unwrap(), 1.0);
+    // ...and a sticky digit at the far end still influences rounding of a
+    // halfway literal.
+    let base = "2.5000000000000000000000000000000000000000000000000"; // exact tie at 1 digit? no: full f64 literal
+    let v = read_f64(base).unwrap();
+    assert_eq!(v, 2.5);
+}
+
+#[test]
+fn base36_extremes() {
+    let v: f64 = read_float("zz.z", 36, RoundingMode::NearestEven).unwrap();
+    assert!((v - (35.0 * 36.0 + 35.0 + 35.0 / 36.0)).abs() < 1e-9);
+    let v: f64 = read_float("1@-3", 36, RoundingMode::NearestEven).unwrap();
+    assert_eq!(v, 36f64.powi(-3));
+}
+
+#[test]
+fn hash_marks_interact_with_exponents() {
+    // Fixed-format output in scientific notation includes marks before the
+    // exponent: "1.23##e-5" must parse (marks read as sticky zeros).
+    let v = read_f64("1.23##e-5").unwrap();
+    // The marks are sticky zeros: the value reads as 1.23e-5 (they could
+    // only matter on an exact halfway literal).
+    assert_eq!(v, 1.23e-5);
+    // Marks cannot appear in the exponent field.
+    assert!(read_f64("1.23e-5#").is_err());
+}
+
+#[test]
+fn rejected_forms() {
+    for bad in [
+        "", " ", "1 ", " 1", "+", "-", ".", "e", "1e", "1e+", "1e-", "0x1",
+        "1.2e3.4", "..1", "1..", "--1", "++1", "1_000", "NaN%",
+    ] {
+        assert!(read_f64(bad).is_err(), "{bad:?} should be rejected");
+    }
+}
+
+#[test]
+fn hex_float_edges() {
+    assert_eq!(read_hex::<f64>("0x.8p1").unwrap(), 1.0);
+    assert_eq!(read_hex::<f64>("0x10p-4").unwrap(), 1.0);
+    assert_eq!(read_hex::<f64>("-0x1p0").unwrap(), -1.0);
+    // rounding at 53 bits: 14 hex digits need rounding
+    let v = read_hex::<f64>("0x1.00000000000008p0").unwrap(); // exact tie -> even
+    assert_eq!(v, 1.0);
+    let v = read_hex::<f64>("0x1.00000000000008000001p0").unwrap(); // above tie
+    assert_eq!(v, 1.0 + f64::EPSILON);
+    // overflow / underflow
+    assert!(read_hex::<f64>("0x1p99999").unwrap().is_infinite());
+    assert_eq!(read_hex::<f64>("0x1p-99999").unwrap(), 0.0);
+    for bad in ["0x", "0xp1", "0x1", "0x1.8", "0x1.8q1", "1.8p1"] {
+        assert!(read_hex::<f64>(bad).is_err(), "{bad:?}");
+    }
+}
+
+#[test]
+fn round_trip_of_all_printf_outputs() {
+    // Everything the printf layer emits must be readable by the reader.
+    for v in [0.1f64, 2.5, 1e300, 5e-324, 123.456] {
+        for p in [0u32, 3, 10] {
+            let e = fpp::printf::format_e(v, p);
+            assert!(read_f64(&e).is_ok(), "{e}");
+            let f = fpp::printf::format_f(v, p);
+            assert!(read_f64(&f).is_ok(), "{f}");
+            let g = fpp::printf::format_g(v, p.max(1));
+            assert!(read_f64(&g).is_ok(), "{g}");
+            let a = fpp::printf::format_a(v, None);
+            assert_eq!(read_hex::<f64>(&a).unwrap(), v, "{a}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The correctness theorems of Appendix A, checked with exact rational
+//! arithmetic over mixed workloads:
+//!
+//! * Theorem 1 — digits valid, first digit non-zero, no carry on increment
+//!   (structurally guaranteed; checked via digit ranges).
+//! * Theorem 3 — information preservation: `low < V < high` with the
+//!   mode-correct inclusivity.
+//! * Theorem 4 — correct rounding: `|V − v| ≤ B^(k−n)/2`.
+//! * Theorem 5 — minimal length: no (n−1)-digit output lies in the range.
+
+use fpp::bignum::{Int, Nat, PowerTable, Rat};
+use fpp::core::{free_format_digits, Digits, ScalingStrategy, TieBreak};
+use fpp::float::{RoundingMode, SoftFloat};
+use fpp::testgen::{special_values, uniform_bit_doubles};
+
+fn digits_to_rat(d: &Digits, base: u64) -> Rat {
+    // V = 0.d1...dn × B^k
+    let mut coeff = Nat::zero();
+    for &digit in &d.digits {
+        coeff.mul_u64(base);
+        coeff.add_u64(u64::from(digit));
+    }
+    Rat::from(Int::from(coeff)) * Rat::pow_i32(base, d.k - d.digits.len() as i32)
+}
+
+fn workload() -> Vec<f64> {
+    special_values()
+        .into_iter()
+        .chain(uniform_bit_doubles(5).take(400))
+        .collect()
+}
+
+#[test]
+fn theorem_1_digit_validity() {
+    let mut powers = PowerTable::new(10);
+    for v in workload() {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let d = free_format_digits(
+            &sf,
+            ScalingStrategy::Estimate,
+            RoundingMode::NearestEven,
+            TieBreak::Up,
+            &mut powers,
+        );
+        assert!(!d.digits.is_empty());
+        assert!(d.digits[0] > 0, "leading zero for {v}");
+        assert!(d.digits.iter().all(|&x| x < 10), "digit overflow for {v}");
+    }
+}
+
+#[test]
+fn theorem_3_information_preservation() {
+    let mut powers = PowerTable::new(10);
+    for v in workload() {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let nb = sf.neighbors();
+        for mode in [
+            RoundingMode::NearestEven,
+            RoundingMode::Conservative,
+            RoundingMode::NearestAwayFromZero,
+            RoundingMode::NearestTowardZero,
+        ] {
+            let d = free_format_digits(
+                &sf,
+                ScalingStrategy::Estimate,
+                mode,
+                TieBreak::Up,
+                &mut powers,
+            );
+            let out = digits_to_rat(&d, 10);
+            let (low_ok, high_ok) = match mode {
+                RoundingMode::NearestEven => {
+                    (sf.mantissa_is_even(), sf.mantissa_is_even())
+                }
+                RoundingMode::NearestAwayFromZero => (true, false),
+                RoundingMode::NearestTowardZero => (false, true),
+                _ => (false, false),
+            };
+            if low_ok {
+                assert!(out >= nb.low, "{v} under {mode:?}: V >= low");
+            } else {
+                assert!(out > nb.low, "{v} under {mode:?}: V > low");
+            }
+            if high_ok {
+                assert!(out <= nb.high, "{v} under {mode:?}: V <= high");
+            } else {
+                assert!(out < nb.high, "{v} under {mode:?}: V < high");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_4_correct_rounding() {
+    // |V − v| ≤ B^(k−n)/2, refined as the exhaustive toy-format sweep in
+    // crates/core/tests/proptests.rs documents: when the rounding range is
+    // asymmetric only one same-length candidate may be valid, and the
+    // algorithm returns the closest IN-RANGE string (the paper's Theorem 4
+    // implicitly assumes the alternative candidate is admissible).
+    let mut powers = PowerTable::new(10);
+    let half = Rat::from_ratio_u64(1, 2);
+    for v in workload() {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let nb = sf.neighbors();
+        let even = sf.mantissa_is_even();
+        let d = free_format_digits(
+            &sf,
+            ScalingStrategy::Estimate,
+            RoundingMode::NearestEven,
+            TieBreak::Up,
+            &mut powers,
+        );
+        let out = digits_to_rat(&d, 10);
+        let unit = Rat::pow_i32(10, d.k - d.digits.len() as i32);
+        let err = if out > sf.value() {
+            &out - &sf.value()
+        } else {
+            &sf.value() - &out
+        };
+        let bound = &unit * &half;
+        if err > bound {
+            let other = if out > sf.value() {
+                &out - &unit
+            } else {
+                &out + &unit
+            };
+            let in_range = (if even { other >= nb.low } else { other > nb.low })
+                && (if even { other <= nb.high } else { other < nb.high });
+            assert!(!in_range, "{v}: closer same-length alternative existed");
+        }
+    }
+}
+
+#[test]
+fn theorem_5_minimal_length() {
+    // No (n-1)-digit number (either rounding of the prefix) may lie in the
+    // admissible range; checked in exact arithmetic so even unparseable
+    // candidates are covered.
+    let mut powers = PowerTable::new(10);
+    for v in workload() {
+        let sf = SoftFloat::from_f64(v).unwrap();
+        let nb = sf.neighbors();
+        let even = sf.mantissa_is_even();
+        let d = free_format_digits(
+            &sf,
+            ScalingStrategy::Estimate,
+            RoundingMode::NearestEven,
+            TieBreak::Up,
+            &mut powers,
+        );
+        let n = d.digits.len();
+        if n <= 1 {
+            continue;
+        }
+        let mut prefix = d.digits.clone();
+        prefix.pop();
+        let down = digits_to_rat(
+            &Digits {
+                digits: prefix.clone(),
+                k: d.k,
+            },
+            10,
+        );
+        let unit = Rat::pow_i32(10, d.k - (n as i32 - 1));
+        let up = &down + &unit;
+        let in_range = |x: &Rat| {
+            let lo = if even { *x >= nb.low } else { *x > nb.low };
+            let hi = if even { *x <= nb.high } else { *x < nb.high };
+            lo && hi
+        };
+        assert!(!in_range(&down), "{v}: truncated output round-trips");
+        assert!(!in_range(&up), "{v}: incremented truncation round-trips");
+    }
+}
+
+#[test]
+fn theorems_hold_in_other_bases() {
+    for base in [2u64, 5, 16, 36] {
+        let mut powers = PowerTable::new(base);
+        let half = Rat::from_ratio_u64(1, 2);
+        for v in special_values().into_iter().step_by(3) {
+            let sf = SoftFloat::from_f64(v).unwrap();
+            let nb = sf.neighbors();
+            let d = free_format_digits(
+                &sf,
+                ScalingStrategy::Estimate,
+                RoundingMode::Conservative,
+                TieBreak::Up,
+                &mut powers,
+            );
+            let out = digits_to_rat(&d, base);
+            assert!(out > nb.low && out < nb.high, "{v} base {base}");
+            let unit = Rat::pow_i32(base, d.k - d.digits.len() as i32);
+            let err = if out > sf.value() {
+                &out - &sf.value()
+            } else {
+                &sf.value() - &out
+            };
+            let bound = &unit * &half;
+            if err > bound {
+                let other = if out > sf.value() {
+                    &out - &unit
+                } else {
+                    &out + &unit
+                };
+                assert!(
+                    !(other > nb.low && other < nb.high),
+                    "{v} base {base}: closer same-length alternative existed"
+                );
+            }
+        }
+    }
+}
