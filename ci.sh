@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Hermetic CI: everything here runs with no registry access (the proptest /
+# criterion suites are feature-gated out; see DESIGN.md §9).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== test =="
+cargo test --workspace -q
+
+echo "== allocation regression (release) =="
+cargo test --release -q --test alloc_count
+
+echo "CI OK"

@@ -239,8 +239,8 @@ mod tests {
         assert_eq!((p.mantissa, p.exponent, p.exact), (10 << 60, -60, true));
         let p = pow10(19).unwrap(); // 10^19 needs 64 bits: exact
         assert_eq!(p.mantissa, 10_000_000_000_000_000_000u64); // exactly 64 bits, no shift
-        // And one negative power against f64 (exactly rounded to 53 bits
-        // implies agreement of the top 53 bits).
+                                                               // And one negative power against f64 (exactly rounded to 53 bits
+                                                               // implies agreement of the top 53 bits).
         let p = pow10(-1).unwrap();
         let approx = p.mantissa as f64 * 2f64.powi(p.exponent);
         assert!((approx - 0.1).abs() < 1e-18);

@@ -30,4 +30,4 @@ pub mod steele_white;
 pub use fast_fixed::{fixed_fast, fixed_fast_or_exact};
 pub use naive_printf::print_naive_printf;
 pub use simple_fixed::print_simple_fixed;
-pub use steele_white::print_steele_white;
+pub use steele_white::{print_steele_white, write_steele_white};

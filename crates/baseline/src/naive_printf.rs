@@ -217,7 +217,13 @@ mod tests {
 
     #[test]
     fn extreme_magnitudes_do_not_hang_or_panic() {
-        for v in [f64::MAX, f64::MIN_POSITIVE, f64::from_bits(1), 1e308, 1e-308] {
+        for v in [
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            1e308,
+            1e-308,
+        ] {
             let d = naive_digits(v, 17).unwrap();
             assert_eq!(d.digits.len(), 17);
             assert!(d.digits[0] >= 1);

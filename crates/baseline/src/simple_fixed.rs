@@ -167,7 +167,13 @@ pub fn print_simple_fixed(v: f64) -> Option<String> {
 /// Formats a positive finite `f64` to `count` significant digits.
 #[must_use]
 pub fn print_simple_fixed_digits(v: f64, count: u32) -> Option<String> {
-    if !matches!(v.decode(), Decoded::Finite { negative: false, .. }) {
+    if !matches!(
+        v.decode(),
+        Decoded::Finite {
+            negative: false,
+            ..
+        }
+    ) {
         return None;
     }
     let sf = SoftFloat::from_f64(v)?;
@@ -224,7 +230,15 @@ mod tests {
         // both printers are "correctly rounded to 15 digits": they must
         // agree exactly (ties broken to even on both sides).
         let mut powers = PowerTable::new(10);
-        for v in [0.1, 1.0 / 3.0, 123.456, 2.0, 9.96, 1e300, 2.2250738585072014e-308] {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            123.456,
+            2.0,
+            9.96,
+            1e300,
+            2.2250738585072014e-308,
+        ] {
             let sf = SoftFloat::from_f64(v).unwrap();
             let (d, k) = simple_fixed_digits(&sf, 15, &mut powers);
             let fd = fpp_core::fixed_format_digits_relative(

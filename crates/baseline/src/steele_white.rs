@@ -78,20 +78,25 @@ pub fn steele_white_digits(v: &SoftFloat, base: u64) -> SwDigits {
         m_minus = Nat::one();
     }
 
-    // Iterative scale (Figure 1's `scale`): one power of B at a time.
+    // Iterative scale (Figure 1's `scale`): one power of B at a time. The
+    // `sum` buffer holds `r + m⁺` so each probe reuses one allocation;
+    // the "k too high" probe tests `(r + m⁺)·B ≤ s`, which is the same
+    // comparison as Figure 1's `r·B + m⁺·B ≤ s` without forming the
+    // premultiplied copies until the step is taken.
+    let mut sum = Nat::zero();
     let mut k: i32 = 0;
     loop {
-        if &r + &m_plus > s {
+        sum.set_sum(&r, &m_plus);
+        if sum > s {
             // k too low
             s.mul_u64(base);
             k += 1;
         } else {
-            let r_b = r.mul_u64_ref(base);
-            let m_plus_b = m_plus.mul_u64_ref(base);
-            if &r_b + &m_plus_b <= s {
+            sum.mul_u64(base);
+            if sum <= s {
                 // k too high
-                r = r_b;
-                m_plus = m_plus_b;
+                r.mul_u64(base);
+                m_plus.mul_u64(base);
                 m_minus.mul_u64(base);
                 k -= 1;
             } else {
@@ -106,9 +111,10 @@ pub fn steele_white_digits(v: &SoftFloat, base: u64) -> SwDigits {
         r.mul_u64(base);
         m_plus.mul_u64(base);
         m_minus.mul_u64(base);
-        let d = r.div_rem_in_place_u64(&s) as u8;
+        let d = r.div_rem_step(&s) as u8;
         let tc1 = r < m_minus;
-        let tc2 = &r + &m_plus > s;
+        sum.set_sum(&r, &m_plus);
+        let tc2 = sum > s;
         match (tc1, tc2) {
             (false, false) => digits.push(d),
             (true, false) => {
@@ -121,7 +127,7 @@ pub fn steele_white_digits(v: &SoftFloat, base: u64) -> SwDigits {
             }
             (true, true) => {
                 // Round to the closer; ties upward (Figure 1 behaviour).
-                let closer_up = r.mul_u64_ref(2) >= s;
+                let closer_up = r.double_cmp(&s) != std::cmp::Ordering::Less;
                 digits.push(if closer_up { d + 1 } else { d });
                 break;
             }
@@ -139,13 +145,28 @@ pub fn steele_white_digits(v: &SoftFloat, base: u64) -> SwDigits {
 /// conversions).
 #[must_use]
 pub fn print_steele_white(v: f64) -> Option<String> {
-    let sf = SoftFloat::from_f64(v)?;
-    let d = steele_white_digits(&sf, 10);
-    let digits = fpp_core::Digits {
-        digits: d.digits,
-        k: d.k,
+    let mut out = Vec::new();
+    write_steele_white(&mut out, v).then(|| String::from_utf8(out).expect("renderer emits UTF-8"))
+}
+
+/// Sink-based variant of [`print_steele_white`]: writes the rendered text
+/// into `sink` and returns `true`, or writes nothing and returns `false`
+/// for the values the baseline does not print (NaN, infinities, zeros,
+/// negatives).
+pub fn write_steele_white(sink: &mut impl fpp_core::DigitSink, v: f64) -> bool {
+    let Some(sf) = SoftFloat::from_f64(v) else {
+        return false;
     };
-    Some(fpp_core::render(&digits, fpp_core::Notation::default()))
+    let d = steele_white_digits(&sf, 10);
+    fpp_core::render_into(
+        sink,
+        &d.digits,
+        d.k,
+        fpp_core::Notation::default(),
+        10,
+        &fpp_core::RenderOptions::default(),
+    );
+    true
 }
 
 #[cfg(test)]

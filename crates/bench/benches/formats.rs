@@ -54,7 +54,11 @@ fn bench_formats(c: &mut Criterion) {
         let mut powers = PowerTable::with_capacity(10, 350);
         b.iter(|| {
             for &v in &raw {
-                black_box(fpp_baseline::fast_fixed::fixed_fast_or_exact(v, 17, &mut powers));
+                black_box(fpp_baseline::fast_fixed::fixed_fast_or_exact(
+                    v,
+                    17,
+                    &mut powers,
+                ));
             }
         });
     });

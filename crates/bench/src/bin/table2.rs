@@ -91,7 +91,10 @@ fn main() {
             - state_cost
     };
     let net_est = net("estimate");
-    println!("\nshared Table-1 state construction: {:.3} s total", state_cost);
+    println!(
+        "\nshared Table-1 state construction: {:.3} s total",
+        state_cost
+    );
     println!("net k-search relative time (state construction subtracted):");
     for name in ["iterative", "floating-point", "estimate", "Gay"] {
         println!("  {:<28} {:>8.2}", name, net(name) / net_est);

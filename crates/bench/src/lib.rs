@@ -18,6 +18,7 @@
 pub mod sweep;
 
 pub use sweep::{
-    count_fixed_roundtrip_failures, count_free_roundtrip_failures, count_naive_incorrect, sweep_fixed_seventeen, sweep_free, sweep_naive_printf,
-    sweep_scale_only, sweep_state_only, SweepOutcome,
+    count_fixed_roundtrip_failures, count_free_roundtrip_failures, count_naive_incorrect,
+    sweep_fixed_seventeen, sweep_free, sweep_naive_printf, sweep_scale_only, sweep_shortest_sink,
+    sweep_shortest_strings, sweep_state_only, SweepOutcome,
 };

@@ -64,6 +64,46 @@ pub fn sweep_free(values: &[f64], strategy: ScalingStrategy) -> SweepOutcome {
     }
 }
 
+/// Times the full sink pipeline: shortest round-tripping *text* (not just
+/// digits) written into one recycled stack buffer through a warm
+/// [`fpp_core::DtoaContext`] — the zero-allocation configuration. Contrast
+/// with [`sweep_shortest_strings`], which allocates a `String` per value.
+#[must_use]
+pub fn sweep_shortest_sink(values: &[f64]) -> SweepOutcome {
+    let mut ctx = fpp_core::DtoaContext::new(10);
+    let mut buf = [0u8; 64];
+    let mut bytes_total: u64 = 0;
+    let start = Instant::now();
+    for &v in values {
+        let mut sink = fpp_core::SliceSink::new(&mut buf);
+        fpp_core::write_shortest(&mut ctx, &mut sink, v);
+        bytes_total += black_box(sink.as_bytes()).len() as u64;
+    }
+    SweepOutcome {
+        elapsed: start.elapsed(),
+        conversions: values.len(),
+        digits: bytes_total,
+    }
+}
+
+/// Times the legacy `String` pipeline for the same conversions as
+/// [`sweep_shortest_sink`]: one `String` (and its intermediate buffers)
+/// allocated per value.
+#[must_use]
+pub fn sweep_shortest_strings(values: &[f64]) -> SweepOutcome {
+    let mut bytes_total: u64 = 0;
+    let start = Instant::now();
+    for &v in values {
+        let s = fpp_core::print_shortest(v);
+        bytes_total += black_box(&s).len() as u64;
+    }
+    SweepOutcome {
+        elapsed: start.elapsed(),
+        conversions: values.len(),
+        digits: bytes_total,
+    }
+}
+
 /// Times the *scaling phase alone* (Table 1 initialisation + finding `k`
 /// and rescaling) for every value — the quantity the paper's Table 2
 /// isolates. Digit generation, which costs the same under every strategy,
@@ -227,6 +267,24 @@ mod tests {
         assert_eq!(a.digits, b.digits);
         assert_eq!(b.digits, c.digits);
         assert_eq!(c.digits, d.digits);
+    }
+
+    #[test]
+    fn sink_sweep_matches_string_sweep() {
+        let w = tiny_workload();
+        let sink = sweep_shortest_sink(&w);
+        let strings = sweep_shortest_strings(&w);
+        assert_eq!(sink.conversions, strings.conversions);
+        // Identical bytes out of both pipelines, so identical totals.
+        assert_eq!(sink.digits, strings.digits);
+        // And spot-check the actual text agrees value by value.
+        let mut ctx = fpp_core::DtoaContext::new(10);
+        let mut buf = [0u8; 64];
+        for &v in &w {
+            let mut s = fpp_core::SliceSink::new(&mut buf);
+            fpp_core::write_shortest(&mut ctx, &mut s, v);
+            assert_eq!(s.as_str(), fpp_core::print_shortest(v), "{v}");
+        }
     }
 
     #[test]

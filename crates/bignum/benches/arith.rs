@@ -32,12 +32,16 @@ fn bench_digit_loop_division(c: &mut Criterion) {
                 black_box(r);
             });
         });
-        group.bench_with_input(BenchmarkId::new("general_div_rem", limbs), &limbs, |b, _| {
-            b.iter(|| {
-                let (q, r) = r0.div_rem(&s);
-                black_box((q, r));
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("general_div_rem", limbs),
+            &limbs,
+            |b, _| {
+                b.iter(|| {
+                    let (q, r) = r0.div_rem(&s);
+                    black_box((q, r));
+                });
+            },
+        );
     }
     group.finish();
 }

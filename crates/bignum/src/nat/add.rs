@@ -43,6 +43,21 @@ impl Nat {
         }
         add_assign_limbs(&mut self.limbs, &[rhs]);
     }
+
+    /// Sets `self = a + b`, reusing `self`'s buffer — the digit loop's
+    /// termination test computes `r + m⁺` every iteration, and this variant
+    /// keeps that sum allocation-free once the buffer has warmed up.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut sum = Nat::zero();
+    /// sum.set_sum(&Nat::from(70u64), &Nat::from(5u64));
+    /// assert_eq!(sum, Nat::from(75u64));
+    /// ```
+    pub fn set_sum(&mut self, a: &Nat, b: &Nat) {
+        self.assign(a);
+        add_assign_limbs(&mut self.limbs, &b.limbs);
+    }
 }
 
 impl AddAssign<&Nat> for Nat {

@@ -65,9 +65,10 @@ impl Nat {
     /// ```
     #[must_use]
     pub fn trailing_zeros(&self) -> Option<u64> {
-        self.limbs.iter().position(|&d| d != 0).map(|i| {
-            (i as u64) * u64::from(LIMB_BITS) + u64::from(self.limbs[i].trailing_zeros())
-        })
+        self.limbs
+            .iter()
+            .position(|&d| d != 0)
+            .map(|i| (i as u64) * u64::from(LIMB_BITS) + u64::from(self.limbs[i].trailing_zeros()))
     }
 }
 

@@ -40,6 +40,40 @@ impl Nat {
             _ => Ordering::Greater,
         }
     }
+
+    /// Compares `2·self` with `other` without materialising the double —
+    /// the tie test of the digit loop (`2r` versus `s`).
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// use std::cmp::Ordering;
+    /// let r = Nat::from(5u64);
+    /// assert_eq!(r.double_cmp(&Nat::from(10u64)), Ordering::Equal);
+    /// assert_eq!(r.double_cmp(&Nat::from(11u64)), Ordering::Less);
+    /// ```
+    #[must_use]
+    pub fn double_cmp(&self, other: &Nat) -> Ordering {
+        let a = &self.limbs;
+        let b = &other.limbs;
+        // Length of 2a: a.len() limbs, plus one if the top bit carries out.
+        let carry_out = a.last().is_some_and(|&top| top >> 63 != 0);
+        let len_2a = a.len() + usize::from(carry_out);
+        match len_2a.cmp(&b.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        // Same length: compare limbs of 2a (computed on the fly) from the
+        // most significant end down.
+        for i in (0..len_2a).rev() {
+            let hi = if i < a.len() { a[i] << 1 } else { 0 };
+            let lo = if i > 0 { a[i - 1] >> 63 } else { 0 };
+            match (hi | lo).cmp(&b[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +103,25 @@ mod tests {
         assert_eq!(Nat::zero().cmp_u64(0), Ordering::Equal);
         assert_eq!(Nat::zero().cmp_u64(1), Ordering::Less);
         assert_eq!(Nat::from(u128::MAX).cmp_u64(u64::MAX), Ordering::Greater);
+    }
+
+    #[test]
+    fn double_cmp_matches_materialised_double() {
+        let samples = [
+            Nat::zero(),
+            Nat::one(),
+            Nat::from(u64::MAX),
+            Nat::from(u64::MAX / 2),
+            Nat::from(u64::MAX / 2 + 1),
+            Nat::from(u128::MAX),
+            (Nat::one() << 200u32) - Nat::one(),
+            Nat::one() << 199u32,
+        ];
+        for a in &samples {
+            for b in &samples {
+                let expect = (a.mul_u64_ref(2)).cmp(b);
+                assert_eq!(a.double_cmp(b), expect, "2*{a} vs {b}");
+            }
+        }
     }
 }

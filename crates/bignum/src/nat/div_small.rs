@@ -44,9 +44,26 @@ impl Nat {
             return u64::try_from(&q).expect("fpp_bignum: quotient does not fit in u64");
         }
         if n == 1 {
-            let (q, r) = self.div_rem_u64(d.limbs[0]);
-            *self = Nat::from(r);
-            return u64::try_from(&q).expect("fpp_bignum: quotient does not fit in u64");
+            // self has at most two limbs here (the len > n+1 case went to the
+            // general path), so the whole division fits in u128 arithmetic
+            // and the remainder is written back without allocating.
+            let d0 = d.limbs[0] as u128;
+            let v = match self.limbs.len() {
+                0 => 0u128,
+                1 => self.limbs[0] as u128,
+                _ => ((self.limbs[1] as u128) << 64) | self.limbs[0] as u128,
+            };
+            let q = v / d0;
+            let r = (v % d0) as u64;
+            assert!(
+                u64::try_from(q).is_ok(),
+                "fpp_bignum: quotient does not fit in u64"
+            );
+            self.limbs.clear();
+            if r != 0 {
+                self.limbs.push(r);
+            }
+            return q as u64;
         }
 
         // Never-overshooting estimate from normalized windows. Work on the
@@ -118,6 +135,20 @@ impl Nat {
         q
     }
 
+    /// The digit step of the generation loop, by its algorithmic name:
+    /// replaces `self` (the scaled remainder `r`) with `r mod s` and returns
+    /// the digit `⌊r/s⌋`. Identical to [`Nat::div_rem_in_place_u64`].
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut r = Nat::from(42u64);
+    /// assert_eq!(r.div_rem_step(&Nat::from(10u64)), 4);
+    /// assert_eq!(r, Nat::from(2u64));
+    /// ```
+    pub fn div_rem_step(&mut self, d: &Nat) -> u64 {
+        self.div_rem_in_place_u64(d)
+    }
+
     /// `self -= d·q` in one pass. Caller guarantees `d·q ≤ self`.
     fn sub_mul_u64(&mut self, d: &Nat, q: u64) {
         if q == 0 {
@@ -126,11 +157,12 @@ impl Nat {
         // Multiply-and-subtract with a running borrow (Knuth D4 shape).
         let mut borrow: u128 = 0; // amount still to subtract at position i
         for i in 0..self.limbs.len() {
-            let sub = borrow + if i < d.limbs.len() {
-                d.limbs[i] as u128 * q as u128
-            } else {
-                0
-            };
+            let sub = borrow
+                + if i < d.limbs.len() {
+                    d.limbs[i] as u128 * q as u128
+                } else {
+                    0
+                };
             let low = sub as u64;
             let (res, underflow) = self.limbs[i].overflowing_sub(low);
             self.limbs[i] = res;

@@ -94,6 +94,17 @@ impl Nat {
         &self.limbs
     }
 
+    /// Number of limbs the backing buffer can hold without reallocating.
+    ///
+    /// This is a property of the buffer, not the value; [`Scratch`] uses it
+    /// to hand the roomiest recycled buffer to each taker.
+    ///
+    /// [`Scratch`]: crate::Scratch
+    #[must_use]
+    pub fn limb_capacity(&self) -> usize {
+        self.limbs.capacity()
+    }
+
     /// Returns `true` when the value is zero.
     ///
     /// ```
@@ -124,6 +135,62 @@ impl Nat {
         }
     }
 
+    /// Sets the value to zero, keeping the limb buffer's capacity.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut n = Nat::from(u128::MAX);
+    /// n.set_zero();
+    /// assert!(n.is_zero());
+    /// ```
+    pub fn set_zero(&mut self) {
+        self.limbs.clear();
+    }
+
+    /// Copies `src`'s value into `self`, reusing `self`'s buffer (no
+    /// allocation when the capacity suffices).
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut n = Nat::from(1u64);
+    /// n.assign(&Nat::from(u128::MAX));
+    /// assert_eq!(n, Nat::from(u128::MAX));
+    /// ```
+    pub fn assign(&mut self, src: &Nat) {
+        self.limbs.clear();
+        self.limbs.extend_from_slice(&src.limbs);
+    }
+
+    /// Sets the value to a primitive `u64`, reusing the buffer.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut n = Nat::from(u128::MAX);
+    /// n.assign_u64(7);
+    /// assert_eq!(n, Nat::from(7u64));
+    /// ```
+    pub fn assign_u64(&mut self, v: u64) {
+        self.limbs.clear();
+        if v != 0 {
+            self.limbs.push(v);
+        }
+    }
+
+    /// Sets the value to `2^exp`, reusing the buffer — the in-place
+    /// counterpart of `Nat::one() << exp` for binary-format boundaries.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let mut n = Nat::zero();
+    /// n.assign_pow2(100);
+    /// assert_eq!(n, Nat::one() << 100u32);
+    /// ```
+    pub fn assign_pow2(&mut self, exp: u32) {
+        let limb = (exp / crate::LIMB_BITS) as usize;
+        self.limbs.clear();
+        self.limbs.resize(limb + 1, 0);
+        self.limbs[limb] = 1 << (exp % crate::LIMB_BITS);
+    }
 }
 
 #[cfg(test)]

@@ -10,12 +10,16 @@ use std::ops::{Mul, MulAssign};
 /// for the very long operands produced by extreme exponents.
 const KARATSUBA_THRESHOLD: usize = 32;
 
-/// Schoolbook product of two limb slices into a fresh vector.
-fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+/// Schoolbook product of two limb slices into a reused output vector.
+///
+/// Clears `out` and accumulates the full product; the caller's buffer keeps
+/// its capacity, so repeated products of similar size do not allocate.
+fn mul_schoolbook_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
+    out.clear();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut out = vec![0 as Limb; a.len() + b.len()];
+    out.resize(a.len() + b.len(), 0);
     for (i, &ad) in a.iter().enumerate() {
         if ad == 0 {
             continue;
@@ -29,6 +33,12 @@ fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
         }
         out[i + b.len()] = carry as Limb;
     }
+}
+
+/// Schoolbook product of two limb slices into a fresh vector.
+fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let mut out = Vec::new();
+    mul_schoolbook_into(a, b, &mut out);
     out
 }
 
@@ -128,6 +138,47 @@ impl Nat {
         out.mul_u64(rhs);
         out
     }
+
+    /// Writes `self * rhs` into `out`, reusing `out`'s buffer.
+    ///
+    /// Below the Karatsuba threshold — which covers every operand the f64
+    /// printing pipeline produces — the product is accumulated directly into
+    /// the caller's vector with no intermediate allocation. Longer operands
+    /// fall back to the allocating Karatsuba path.
+    ///
+    /// ```
+    /// use fpp_bignum::Nat;
+    /// let a = Nat::from(u64::MAX);
+    /// let mut out = Nat::zero();
+    /// a.mul_into(&a, &mut out);
+    /// assert_eq!(out, &a * &a);
+    /// ```
+    pub fn mul_into(&self, rhs: &Nat, out: &mut Nat) {
+        if self.limbs.len().min(rhs.limbs.len()) >= KARATSUBA_THRESHOLD {
+            *out = self * rhs;
+            return;
+        }
+        mul_schoolbook_into(&self.limbs, &rhs.limbs, &mut out.limbs);
+        out.normalize();
+    }
+
+    /// Multiplies `self` by `rhs` in place, borrowing a buffer from
+    /// `scratch` for the product so that a warmed-up pool makes the
+    /// operation allocation-free.
+    ///
+    /// ```
+    /// use fpp_bignum::{Nat, Scratch};
+    /// let mut scratch = Scratch::new();
+    /// let mut a = Nat::from(3u64);
+    /// a.mul_assign_with(&Nat::from(7u64), &mut scratch);
+    /// assert_eq!(a, Nat::from(21u64));
+    /// ```
+    pub fn mul_assign_with(&mut self, rhs: &Nat, scratch: &mut crate::Scratch) {
+        let mut out = scratch.take();
+        self.mul_into(rhs, &mut out);
+        std::mem::swap(self, &mut out);
+        scratch.put(out);
+    }
 }
 
 impl Mul<&Nat> for &Nat {
@@ -211,8 +262,8 @@ mod tests {
         let mut a = Nat::from_limbs(vec![u64::MAX, u64::MAX]);
         a.mul_u64(u64::MAX);
         // (2^128 - 1)(2^64 - 1) = 2^192 - 2^128 - 2^64 + 1
-        let expect = (Nat::one() << 192u32) - (Nat::one() << 128u32) - (Nat::one() << 64u32)
-            + Nat::one();
+        let expect =
+            (Nat::one() << 192u32) - (Nat::one() << 128u32) - (Nat::one() << 64u32) + Nat::one();
         assert_eq!(a, expect);
     }
 
@@ -243,6 +294,42 @@ mod tests {
         let slow = Nat::from_limbs(mul_schoolbook(a.limbs(), b.limbs()));
         assert_eq!(fast, slow);
         assert_eq!(fast, a.mul_u64_ref(7));
+    }
+
+    #[test]
+    fn mul_into_matches_operator_and_reuses_buffer() {
+        let a = Nat::from(u128::MAX);
+        let b = Nat::from_limbs((1..9u64).collect());
+        let mut out = Nat::zero();
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, &a * &b);
+        let ptr = out.limbs().as_ptr();
+        // A second, same-size product reuses the warmed buffer.
+        b.mul_into(&a, &mut out);
+        assert_eq!(out, &a * &b);
+        assert_eq!(out.limbs().as_ptr(), ptr);
+        // Degenerate operands clear the output.
+        a.mul_into(&Nat::zero(), &mut out);
+        assert!(out.is_zero());
+    }
+
+    #[test]
+    fn mul_into_long_operands_fall_back_to_karatsuba() {
+        let a = Nat::from_limbs(vec![7; 2 * KARATSUBA_THRESHOLD]);
+        let b = Nat::from_limbs(vec![11; 2 * KARATSUBA_THRESHOLD]);
+        let mut out = Nat::zero();
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, &a * &b);
+    }
+
+    #[test]
+    fn mul_assign_with_recycles_scratch() {
+        let mut scratch = crate::Scratch::new();
+        let mut a = Nat::from(u64::MAX);
+        let b = Nat::from(u64::MAX);
+        a.mul_assign_with(&b, &mut scratch);
+        assert_eq!(a, &Nat::from(u64::MAX) * &Nat::from(u64::MAX));
+        assert_eq!(scratch.len(), 1);
     }
 
     #[test]

@@ -23,9 +23,10 @@ impl ShlAssign<u32> for Nat {
             }
         }
         if limb_shift != 0 {
-            let mut shifted = vec![0; limb_shift];
-            shifted.append(&mut self.limbs);
-            self.limbs = shifted;
+            let old_len = self.limbs.len();
+            self.limbs.resize(old_len + limb_shift, 0);
+            self.limbs.copy_within(..old_len, limb_shift);
+            self.limbs[..limb_shift].fill(0);
         }
     }
 }

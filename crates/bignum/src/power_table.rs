@@ -69,6 +69,28 @@ impl PowerTable {
         n * self.pow(exp)
     }
 
+    /// Writes `n · base^exp` into `out`, reusing `out`'s buffer.
+    pub fn scale_into(&mut self, n: &Nat, exp: u32, out: &mut Nat) {
+        if exp == 0 {
+            out.assign(n);
+            return;
+        }
+        self.grow_to(exp as usize);
+        n.mul_into(&self.powers[exp as usize], out);
+    }
+
+    /// Multiplies `n` in place by `base^exp`, borrowing a product buffer
+    /// from `scratch` so the warmed-up pipeline performs no allocation.
+    pub fn scale_assign(&mut self, n: &mut Nat, exp: u32, scratch: &mut crate::Scratch) {
+        if exp == 0 {
+            return;
+        }
+        let mut out = scratch.take();
+        self.scale_into(&*n, exp, &mut out);
+        std::mem::swap(n, &mut out);
+        scratch.put(out);
+    }
+
     fn grow_to(&mut self, exp: usize) {
         while self.powers.len() <= exp {
             let last = self.powers.last().expect("table is never empty");
@@ -103,6 +125,25 @@ mod tests {
         let n = Nat::from(7u64);
         assert_eq!(t.scale(&n, 3), Nat::from(7000u64));
         assert_eq!(t.scale(&n, 0), n);
+    }
+
+    #[test]
+    fn scale_into_and_assign_match_scale() {
+        let mut t = PowerTable::new(10);
+        let n = Nat::from(7u64);
+        let mut out = Nat::zero();
+        t.scale_into(&n, 3, &mut out);
+        assert_eq!(out, Nat::from(7000u64));
+        t.scale_into(&n, 0, &mut out);
+        assert_eq!(out, n);
+
+        let mut scratch = crate::Scratch::new();
+        let mut m = Nat::from(7u64);
+        t.scale_assign(&mut m, 3, &mut scratch);
+        assert_eq!(m, Nat::from(7000u64));
+        t.scale_assign(&mut m, 0, &mut scratch);
+        assert_eq!(m, Nat::from(7000u64));
+        assert_eq!(scratch.len(), 1);
     }
 
     #[test]

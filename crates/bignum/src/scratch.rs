@@ -1,0 +1,107 @@
+//! A recycling arena of limb buffers for allocation-free hot loops.
+//!
+//! The digit-generation loop of the printing algorithm performs the same
+//! handful of big-integer operations per digit; with fresh `Vec` allocations
+//! per operation the allocator, not the arithmetic, dominates. [`Scratch`]
+//! keeps a small pool of retired [`Nat`] buffers: `take` hands out a zero
+//! value whose limb vector retains its previous capacity, and `put` returns
+//! the buffer to the pool. After a warm-up pass the pool's buffers have
+//! grown to the working-set size and the loops run with zero steady-state
+//! heap allocation.
+
+use crate::Nat;
+
+/// A small pool of recycled [`Nat`] limb buffers.
+///
+/// ```
+/// use fpp_bignum::{Nat, Scratch};
+/// let mut scratch = Scratch::new();
+/// let mut t = scratch.take();
+/// t.assign(&Nat::from(123u64));
+/// scratch.put(t); // buffer (and its capacity) returns to the pool
+/// assert!(scratch.take().is_zero());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    pool: Vec<Nat>,
+}
+
+impl Scratch {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Takes a zero-valued [`Nat`] from the pool (or a fresh one when the
+    /// pool is empty). The returned value keeps whatever limb capacity it
+    /// accumulated in earlier lives.
+    ///
+    /// The *largest* pooled buffer is handed out: swap-based in-place ops
+    /// circulate buffers between callers and the pool, and always serving
+    /// the roomiest one keeps accumulated capacity at the sites that need
+    /// it, so one warm-up pass reaches the allocation-free steady state
+    /// instead of growing a different rotated buffer on each pass.
+    #[must_use]
+    pub fn take(&mut self) -> Nat {
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, n)| n.limb_capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => self.pool.swap_remove(i),
+            None => Nat::default(),
+        }
+    }
+
+    /// Returns a [`Nat`] to the pool, clearing its value but keeping its
+    /// buffer.
+    pub fn put(&mut self, mut n: Nat) {
+        n.set_zero();
+        self.pool.push(n);
+    }
+
+    /// Number of buffers currently parked in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_capacity() {
+        let mut s = Scratch::new();
+        let mut a = s.take();
+        a.assign(&(Nat::one() << 1000u32));
+        let cap_ptr = a.limbs().as_ptr();
+        s.put(a);
+        let b = s.take();
+        assert!(b.is_zero());
+        assert_eq!(b.limbs().as_ptr(), cap_ptr, "same buffer came back");
+    }
+
+    #[test]
+    fn pool_grows_and_shrinks() {
+        let mut s = Scratch::new();
+        assert!(s.is_empty());
+        let a = s.take();
+        let b = s.take();
+        s.put(a);
+        s.put(b);
+        assert_eq!(s.len(), 2);
+        let _ = s.take();
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -19,12 +19,7 @@ use fpp_float::SoftFloat;
 /// input (property-tested); use the optimized path for anything
 /// performance-sensitive.
 #[must_use]
-pub fn free_digits_exact(
-    v: &SoftFloat,
-    base: u64,
-    inc: Inclusivity,
-    tie: TieBreak,
-) -> Digits {
+pub fn free_digits_exact(v: &SoftFloat, base: u64, inc: Inclusivity, tie: TieBreak) -> Digits {
     let value = v.value();
     let nb = v.neighbors();
     let (low, high) = (nb.low, nb.high);
@@ -74,7 +69,11 @@ pub fn free_digits_exact(
         } else {
             v_down > low
         };
-        let tc2 = if inc.high_ok { v_up <= high } else { v_up < high };
+        let tc2 = if inc.high_ok {
+            v_up <= high
+        } else {
+            v_up < high
+        };
         match (tc1, tc2) {
             (false, false) => digits.push(d),
             (true, false) => {
@@ -118,12 +117,8 @@ pub fn fixed_digits_exact(v: &SoftFloat, base: u64, j: i32, tie: TieBreak) -> Fi
 
     let low_ok = half >= nb.m_minus;
     let high_ok = half >= nb.m_plus;
-    let m_minus = if half > nb.m_minus { half.clone() } else { nb.m_minus };
-    let m_plus = if half > nb.m_plus { half.clone() } else { nb.m_plus };
-    let low = &value - &m_minus;
-    let high = &value + &m_plus;
 
-    // Zero cases.
+    // Zero cases (checked before `half` is consumed by the expansion).
     if value < half {
         return FixedDigits {
             digits: Vec::new(),
@@ -149,6 +144,17 @@ pub fn fixed_digits_exact(v: &SoftFloat, base: u64, j: i32, tie: TieBreak) -> Fi
             }
         };
     }
+
+    // Expand whichever half-gaps the coarser precision dominates (at
+    // equality the values coincide, so taking `half` is the same range).
+    let (m_minus, m_plus) = match (low_ok, high_ok) {
+        (true, true) => (half.clone(), half),
+        (true, false) => (half, nb.m_plus),
+        (false, true) => (nb.m_minus, half),
+        (false, false) => (nb.m_minus, nb.m_plus),
+    };
+    let low = &value - &m_minus;
+    let high = &value + &m_plus;
 
     // k: smallest with high ≤ B^k (strict < when high is in the range).
     let b = Rat::from(base);
@@ -227,7 +233,7 @@ pub fn fixed_digits_exact(v: &SoftFloat, base: u64, j: i32, tie: TieBreak) -> Fi
     debug_assert!(n <= total);
     let remaining = (total - n) as usize;
     let mut zeros = 0usize;
-    let mut unit = weight.clone(); // B^(k−n)
+    let mut unit = weight; // B^(k−n)
     while zeros < remaining {
         let bumped = &chosen_value + &unit;
         if bumped <= high {
@@ -287,12 +293,7 @@ mod tests {
 
     #[test]
     fn fixed_oracle_matches_paper_example() {
-        let d = fixed_digits_exact(
-            &SoftFloat::from_f64(100.0).unwrap(),
-            10,
-            -20,
-            TieBreak::Up,
-        );
+        let d = fixed_digits_exact(&SoftFloat::from_f64(100.0).unwrap(), 10, -20, TieBreak::Up);
         assert_eq!(d.k, 3);
         assert_eq!(d.digits.len(), 18);
         assert_eq!(d.insignificant, 5);

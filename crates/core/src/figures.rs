@@ -323,7 +323,10 @@ fn log2_of(v: &SoftFloat) -> f64 {
         (f.to_f64_lossy(), 0i64)
     } else {
         let sh = bits - 53;
-        ((f >> u32::try_from(sh).expect("fits")).to_f64_lossy(), sh as i64)
+        (
+            (f >> u32::try_from(sh).expect("fits")).to_f64_lossy(),
+            sh as i64,
+        )
     };
     top.log2() + shift as f64 + v.exponent() as f64 * (v.base() as f64).log2()
 }
@@ -367,9 +370,21 @@ mod tests {
             let v = SoftFloat::from_f64(x).unwrap();
             for base in [10u64, 2, 16] {
                 let expect = pipeline(&v, base);
-                assert_eq!(fig1_flonum_to_digits(&v, base), expect, "fig1 {x} base {base}");
-                assert_eq!(fig2_flonum_to_digits(&v, base), expect, "fig2 {x} base {base}");
-                assert_eq!(fig3_flonum_to_digits(&v, base), expect, "fig3 {x} base {base}");
+                assert_eq!(
+                    fig1_flonum_to_digits(&v, base),
+                    expect,
+                    "fig1 {x} base {base}"
+                );
+                assert_eq!(
+                    fig2_flonum_to_digits(&v, base),
+                    expect,
+                    "fig2 {x} base {base}"
+                );
+                assert_eq!(
+                    fig3_flonum_to_digits(&v, base),
+                    expect,
+                    "fig3 {x} base {base}"
+                );
             }
         }
     }

@@ -12,8 +12,10 @@
 //! many places (`1/3` as a float prints as `0.3333333333333333####` to 20
 //! places rather than inventing `…3148` noise).
 
-use crate::generate::{generate, Inclusivity, TieBreak};
-use crate::scale::{initial_state, ScalingStrategy};
+use crate::ctx::Workspace;
+use crate::free::load_initial;
+use crate::generate::{generate_into, Inclusivity, TieBreak};
+use crate::scale::ScalingStrategy;
 use fpp_bignum::PowerTable;
 use fpp_float::SoftFloat;
 
@@ -83,42 +85,87 @@ pub fn fixed_format_digits_absolute(
     tie: TieBreak,
     powers: &mut PowerTable,
 ) -> FixedDigits {
-    let base = powers.base();
-    let mut state = initial_state(v);
+    let mut ws = Workspace::default();
+    let meta = fixed_format_into(v, j, strategy, tie, powers, &mut ws);
+    FixedDigits {
+        digits: std::mem::take(&mut ws.digits),
+        k: meta.k,
+        insignificant: meta.insignificant,
+        position: meta.position,
+    }
+}
 
-    // Express half = B^j/2 over the common denominator; for j < 0 rescale
-    // the whole state by B^(-j) so everything stays integral (s is even by
-    // construction, Table 1).
-    let (s_half, s_rem) = state.s.div_rem_u64(2);
-    debug_assert_eq!(s_rem, 0, "Table 1 denominators are even");
-    let half = if j >= 0 {
-        powers.scale(&s_half, j as u32)
+/// Everything [`FixedDigits`] carries except the digits themselves, which
+/// the in-place engines leave in the workspace's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FixedMeta {
+    /// Scale: the digits read `0.d₁d₂… × Bᵏ`.
+    pub k: i32,
+    /// Trailing insignificant (`#`) positions.
+    pub insignificant: usize,
+    /// The absolute position the output stops at.
+    pub position: i32,
+}
+
+impl FixedMeta {
+    /// `true` when the value rounded to zero at the requested precision
+    /// (`digits` in the workspace is then empty too).
+    pub fn is_zero(&self, digits: &[u8]) -> bool {
+        digits.is_empty() && self.insignificant == 0
+    }
+}
+
+/// In-place engine behind [`fixed_format_digits_absolute`]: converts into
+/// the workspace's digit buffer and returns the metadata. With warm buffers
+/// this performs no heap allocation.
+pub(crate) fn fixed_format_into(
+    v: &SoftFloat,
+    j: i32,
+    strategy: ScalingStrategy,
+    tie: TieBreak,
+    powers: &mut PowerTable,
+    ws: &mut Workspace,
+) -> FixedMeta {
+    let base = powers.base();
+    ws.digits.clear();
+    load_initial(v, &mut ws.state);
+    let state = &mut ws.state;
+
+    // Express half = B^j·(s/2) over the common denominator; for j < 0
+    // rescale the whole state by B^(-j) so everything stays integral (s is
+    // even by construction, Table 1, so s/2 is the one-bit shift).
+    let mut half = ws.scratch.take();
+    half.assign(&state.s);
+    debug_assert!(state.s.is_even(), "Table 1 denominators are even");
+    half >>= 1;
+    if j >= 0 {
+        powers.scale_assign(&mut half, j as u32, &mut ws.scratch);
     } else {
-        let scale = powers.pow((-j) as u32).clone();
-        state.r = &state.r * &scale;
-        state.s = &state.s * &scale;
-        state.m_plus = &state.m_plus * &scale;
-        state.m_minus = &state.m_minus * &scale;
-        s_half
-    };
+        let exp = (-j) as u32;
+        powers.scale_assign(&mut state.r, exp, &mut ws.scratch);
+        powers.scale_assign(&mut state.s, exp, &mut ws.scratch);
+        powers.scale_assign(&mut state.m_plus, exp, &mut ws.scratch);
+        powers.scale_assign(&mut state.m_minus, exp, &mut ws.scratch);
+    }
 
     // Expand the rounding range where the requested precision is coarser;
     // an expanded endpoint is inclusive (correct rounding admits equality).
     let low_ok = half >= state.m_minus;
     let high_ok = half >= state.m_plus;
     if half > state.m_minus {
-        state.m_minus = half.clone();
+        state.m_minus.assign(&half);
     }
     if half > state.m_plus {
-        state.m_plus = half.clone();
+        state.m_plus.assign(&half);
     }
 
     // Values at or below half of the last position round to zero (possibly
     // via a tie at exactly B^j/2).
-    match state.r.cmp(&half) {
+    let vs_half = state.r.cmp(&half);
+    ws.scratch.put(half);
+    match vs_half {
         std::cmp::Ordering::Less => {
-            return FixedDigits {
-                digits: Vec::new(),
+            return FixedMeta {
                 k: j,
                 insignificant: 0,
                 position: j,
@@ -129,31 +176,33 @@ pub fn fixed_format_digits_absolute(
                 TieBreak::Up => true,
                 TieBreak::Down | TieBreak::Even => false,
             };
-            return if round_up {
-                FixedDigits {
-                    digits: vec![1],
-                    k: j + 1,
-                    insignificant: 0,
-                    position: j,
-                }
+            let k = if round_up {
+                ws.digits.push(1);
+                j + 1
             } else {
-                FixedDigits {
-                    digits: Vec::new(),
-                    k: j,
-                    insignificant: 0,
-                    position: j,
-                }
+                j
+            };
+            return FixedMeta {
+                k,
+                insignificant: 0,
+                position: j,
             };
         }
         std::cmp::Ordering::Greater => {}
     }
 
-    let scaled = strategy.scale(state, v, high_ok, powers);
-    let k = scaled.k;
-    let exit = generate(scaled, base, Inclusivity { low_ok, high_ok }, tie);
+    let k = strategy.scale_in(state, v, high_ok, powers, &mut ws.scratch);
+    generate_into(
+        state,
+        base,
+        Inclusivity { low_ok, high_ok },
+        tie,
+        &mut ws.digits,
+        &mut ws.sum,
+    );
 
     let total = i64::from(k) - i64::from(j);
-    let n = exit.digits.len() as i64;
+    let n = ws.digits.len() as i64;
     debug_assert!(
         n <= total,
         "loop generated past the requested position ({n} > {total})"
@@ -163,16 +212,14 @@ pub fn fixed_format_digits_absolute(
     // §4 padding: zeros remain significant while perturbing the position
     // could push the reading outside the rounding range; from the first
     // position where a whole unit still fits below `high`, everything is #.
-    let mut digits = exit.digits;
+    // `state.r` holds the gap to `high` on exit from the loop.
     let mut zeros = 0usize;
-    let mut gap = exit.gap_to_high;
-    while zeros < remaining && gap < exit.s {
-        gap.mul_u64(base);
+    while zeros < remaining && state.r < state.s {
+        state.r.mul_u64(base);
         zeros += 1;
     }
-    digits.extend(std::iter::repeat_n(0u8, zeros));
-    FixedDigits {
-        digits,
+    ws.digits.extend(std::iter::repeat_n(0u8, zeros));
+    FixedMeta {
         k,
         insignificant: remaining - zeros,
         position: j,
@@ -198,6 +245,30 @@ pub fn fixed_format_digits_relative(
     tie: TieBreak,
     powers: &mut PowerTable,
 ) -> FixedDigits {
+    let mut ws = Workspace::default();
+    let meta = fixed_format_relative_into(v, count, strategy, tie, powers, &mut ws);
+    FixedDigits {
+        digits: std::mem::take(&mut ws.digits),
+        k: meta.k,
+        insignificant: meta.insignificant,
+        position: meta.position,
+    }
+}
+
+/// In-place engine behind [`fixed_format_digits_relative`]: converts into
+/// the workspace's digit buffer and returns the metadata.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `count > 2²⁴`.
+pub(crate) fn fixed_format_relative_into(
+    v: &SoftFloat,
+    count: u32,
+    strategy: ScalingStrategy,
+    tie: TieBreak,
+    powers: &mut PowerTable,
+    ws: &mut Workspace,
+) -> FixedMeta {
     assert!(count >= 1, "fpp_core: relative precision must be >= 1");
     assert!(
         count <= 1 << 24,
@@ -205,19 +276,18 @@ pub fn fixed_format_digits_relative(
     );
     // Initial estimate of the leading-digit position from the free-format
     // scaling of the unexpanded state.
-    let k0 = strategy
-        .scale(initial_state(v), v, false, powers)
-        .k;
+    load_initial(v, &mut ws.state);
+    let k0 = strategy.scale_in(&mut ws.state, v, false, powers, &mut ws.scratch);
     let mut j = k0 - count as i32;
     let mut last = None;
     for _ in 0..4 {
-        let result = fixed_format_digits_absolute(v, j, strategy, tie, powers);
-        if result.is_zero() || result.k - j == count as i32 {
-            return result;
+        let meta = fixed_format_into(v, j, strategy, tie, powers, ws);
+        if meta.is_zero(&ws.digits) || meta.k - j == count as i32 {
+            return meta;
         }
         // Rounding carried past a power of B; re-anchor on the new k.
-        j = result.k - count as i32;
-        last = Some(result);
+        j = meta.k - count as i32;
+        last = Some(meta);
     }
     // The refinement converges in one step (k only ever grows by one when
     // the expanded high crosses a power of B); this is unreachable but kept
@@ -244,7 +314,10 @@ mod tests {
     #[test]
     fn integers_round_trip_exactly() {
         let d = abs_digits(100.0, 0);
-        assert_eq!((d.digits.as_slice(), d.k, d.insignificant), ([1, 0, 0].as_slice(), 3, 0));
+        assert_eq!(
+            (d.digits.as_slice(), d.k, d.insignificant),
+            ([1, 0, 0].as_slice(), 3, 0)
+        );
         let d = abs_digits(7.0, 0);
         assert_eq!((d.digits.as_slice(), d.k), ([7].as_slice(), 1));
     }
@@ -283,7 +356,10 @@ mod tests {
         assert_eq!((d.digits.as_slice(), d.k), ([1, 3].as_slice(), 0));
         // At three digits it is exact: 0.125 with no marks.
         let d = abs_digits(0.125, -3);
-        assert_eq!((d.digits.as_slice(), d.k, d.insignificant), ([1, 2, 5].as_slice(), 0, 0));
+        assert_eq!(
+            (d.digits.as_slice(), d.k, d.insignificant),
+            ([1, 2, 5].as_slice(), 0, 0)
+        );
         // At six digits: exact zeros are significant (the float is exactly
         // 0.125, and nearby floats differ within 10^-6? No — the gap around
         // 0.125 is ~2.8e-17, far finer than 1e-6, so all positions are

@@ -1,9 +1,10 @@
 //! Free-format printing: the shortest, correctly rounded digit string that
 //! reads back as the original value (§2–§3).
 
-use crate::generate::{generate_free, Digits, Inclusivity, TieBreak};
-use crate::scale::{initial_state, ScalingStrategy};
-use fpp_bignum::{Nat, PowerTable};
+use crate::ctx::Workspace;
+use crate::generate::{generate_into, Digits, Inclusivity, TieBreak};
+use crate::scale::{initial_state, InitialState, ScalingStrategy};
+use fpp_bignum::PowerTable;
 use fpp_float::{RoundingMode, SoftFloat};
 
 /// Derives the endpoint-inclusivity flags for a value under a reader
@@ -38,7 +39,7 @@ pub(crate) fn apply_rounding_mode(
         RoundingMode::TowardZero => {
             // Range [v, v⁺): everything at or above v up to the successor.
             state.m_plus.mul_u64(2);
-            state.m_minus = Nat::zero();
+            state.m_minus.set_zero();
             Inclusivity {
                 low_ok: true,
                 high_ok: false,
@@ -47,7 +48,7 @@ pub(crate) fn apply_rounding_mode(
         RoundingMode::AwayFromZero => {
             // Range (v⁻, v]: everything above the predecessor up to v.
             state.m_minus.mul_u64(2);
-            state.m_plus = Nat::zero();
+            state.m_plus.set_zero();
             Inclusivity {
                 low_ok: false,
                 high_ok: true,
@@ -88,10 +89,85 @@ pub fn free_format_digits(
     tie: TieBreak,
     powers: &mut PowerTable,
 ) -> Digits {
-    let mut state = initial_state(v);
-    let inc = apply_rounding_mode(&mut state, v, rounding);
-    let scaled = strategy.scale(state, v, inc.high_ok, powers);
-    generate_free(scaled, powers.base(), inc, tie)
+    let mut ws = Workspace::default();
+    let k = free_format_into(v, strategy, rounding, tie, powers, &mut ws);
+    Digits {
+        digits: std::mem::take(&mut ws.digits),
+        k,
+    }
+}
+
+/// Loads Table 1's initial state into `state` in place, reusing its limb
+/// buffers. Binary-format inputs (every `f32`/`f64`) take an allocation-free
+/// shift-based path; other input bases fall back to [`initial_state`].
+pub(crate) fn load_initial(v: &SoftFloat, state: &mut InitialState) {
+    if v.base() != 2 {
+        *state = initial_state(v);
+        return;
+    }
+    // Base-2 specialisation of Table 1: every multiplication by a power of
+    // the input base is a shift.
+    let e = v.exponent();
+    let f = v.mantissa();
+    let narrow = v.has_narrow_low_gap();
+    if e >= 0 {
+        let e = e as u32;
+        if !narrow {
+            state.r.assign(f);
+            state.r <<= e + 1; // 2f·2^e
+            state.s.assign_u64(2);
+            state.m_plus.assign_pow2(e);
+            state.m_minus.assign_pow2(e);
+        } else {
+            state.r.assign(f);
+            state.r <<= e + 2; // 2f·2^(e+1)
+            state.s.assign_u64(4);
+            state.m_plus.assign_pow2(e + 1);
+            state.m_minus.assign_pow2(e);
+        }
+    } else if !narrow {
+        state.r.assign(f);
+        state.r <<= 1;
+        state.s.assign_pow2((1 - e) as u32);
+        state.m_plus.assign_u64(1);
+        state.m_minus.assign_u64(1);
+    } else {
+        state.r.assign(f);
+        state.r <<= 2;
+        state.s.assign_pow2((2 - e) as u32);
+        state.m_plus.assign_u64(2);
+        state.m_minus.assign_u64(1);
+    }
+}
+
+/// In-place engine behind [`free_format_digits`]: converts into the
+/// workspace's digit buffer and returns the scale `k` (the digits read
+/// `0.d₁d₂… × Bᵏ`). With warm buffers this performs no heap allocation.
+pub(crate) fn free_format_into(
+    v: &SoftFloat,
+    strategy: ScalingStrategy,
+    rounding: RoundingMode,
+    tie: TieBreak,
+    powers: &mut PowerTable,
+    ws: &mut Workspace,
+) -> i32 {
+    load_initial(v, &mut ws.state);
+    let inc = apply_rounding_mode(&mut ws.state, v, rounding);
+    let k = strategy.scale_in(&mut ws.state, v, inc.high_ok, powers, &mut ws.scratch);
+    ws.digits.clear();
+    generate_into(
+        &mut ws.state,
+        powers.base(),
+        inc,
+        tie,
+        &mut ws.digits,
+        &mut ws.sum,
+    );
+    debug_assert!(
+        ws.digits.first().is_some_and(|&d| d != 0),
+        "first digit must be non-zero (Theorem 1)"
+    );
+    k
 }
 
 #[cfg(test)]

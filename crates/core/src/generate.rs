@@ -15,7 +15,8 @@
 //! carries, and (after a possible increment of a leading 0 to 1) the first
 //! digit is non-zero.
 
-use crate::scale::ScaledState;
+use crate::scale::InitialState;
+use fpp_bignum::Nat;
 
 /// Tie-breaking strategy for the final digit when both candidate outputs are
 /// exactly equidistant from `v` (§2.2 permits any choice; Figure 1 rounds
@@ -64,111 +65,78 @@ pub struct Digits {
     pub k: i32,
 }
 
-/// How free-format generation left the loop — consumed by fixed-format
-/// padding to decide which trailing positions remain significant.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct LoopExit {
-    /// Digits emitted (with any final increment applied).
-    pub digits: Vec<u8>,
-    /// Numerator of `high − V` in units of `B^(k-n)/s`:
-    /// `r + m⁺` when the final digit was kept, `r + m⁺ − s` when it was
-    /// incremented.
-    pub gap_to_high: fpp_bignum::Nat,
-    /// The loop's denominator.
-    pub s: fpp_bignum::Nat,
-}
-
-/// Runs the digit loop on a scaled state. Returns the digits and the final
-/// gap data (for fixed-format padding).
-pub(crate) fn generate(state: ScaledState, base: u64, inc: Inclusivity, tie: TieBreak) -> LoopExit {
+/// Runs the digit loop on a state already scaled to generation form
+/// (`r/s = v/B^(k-1)`), appending digit values to `digits`.
+///
+/// Everything is borrowed and mutated in place so a warmed-up pipeline
+/// generates with zero heap allocation: `sum` is the recycled buffer for the
+/// per-iteration `r + m⁺` termination test (it keeps its own backing buffer
+/// across calls — copied, not swapped, into `r` on exit, so one warm-up
+/// conversion sizes it for good), and on return `state.r` holds
+/// the numerator of `high − V` — the "gap to high" fixed-format padding
+/// consumes (`r + m⁺` when the final digit was kept, `r + m⁺ − s` when it
+/// was incremented); `state.s` is unchanged.
+pub(crate) fn generate_into(
+    state: &mut InitialState,
+    base: u64,
+    inc: Inclusivity,
+    tie: TieBreak,
+    digits: &mut Vec<u8>,
+    sum: &mut Nat,
+) {
     debug_assert!((2..=36).contains(&base));
-    let ScaledState {
-        mut r,
-        s,
-        mut m_plus,
-        mut m_minus,
-        ..
-    } = state;
-    let mut digits: Vec<u8> = Vec::with_capacity(20);
     loop {
-        let d = r.div_rem_in_place_u64(&s) as u8;
+        let d = state.r.div_rem_step(&state.s) as u8;
         debug_assert!((d as u64) < base, "digit out of range");
-        let tc1 = if inc.low_ok { r <= m_minus } else { r < m_minus };
-        let tc2 = {
-            let sum = &r + &m_plus;
-            if inc.high_ok {
-                sum >= s
-            } else {
-                sum > s
-            }
+        let tc1 = if inc.low_ok {
+            state.r <= state.m_minus
+        } else {
+            state.r < state.m_minus
+        };
+        sum.set_sum(&state.r, &state.m_plus);
+        let tc2 = if inc.high_ok {
+            *sum >= state.s
+        } else {
+            *sum > state.s
         };
         match (tc1, tc2) {
             (false, false) => {
                 digits.push(d);
-                r.mul_u64(base);
-                m_plus.mul_u64(base);
-                m_minus.mul_u64(base);
+                state.r.mul_u64(base);
+                state.m_plus.mul_u64(base);
+                state.m_minus.mul_u64(base);
             }
             (true, false) => {
                 digits.push(d);
-                return LoopExit {
-                    digits,
-                    gap_to_high: r + m_plus,
-                    s,
-                };
+                state.r.assign(sum); // r ← r + m⁺
+                return;
             }
             (false, true) => {
                 digits.push(d + 1);
                 debug_assert!(((d + 1) as u64) < base, "increment carried (Theorem 1)");
-                return LoopExit {
-                    digits,
-                    gap_to_high: (r + m_plus) - &s,
-                    s,
-                };
+                state.r.assign(sum);
+                state.r -= &state.s; // r ← r + m⁺ − s
+                return;
             }
             (true, true) => {
                 // Both candidates read back as v; pick the closer
                 // (2r vs s compares v − V_down against V_up − v).
-                let r2 = r.mul_u64_ref(2);
-                let round_up = match r2.cmp(&s) {
+                let round_up = match state.r.double_cmp(&state.s) {
                     std::cmp::Ordering::Less => false,
                     std::cmp::Ordering::Greater => true,
                     std::cmp::Ordering::Equal => tie.rounds_up(d),
                 };
-                let gap_to_high = if round_up {
+                state.r.assign(sum);
+                if round_up {
                     digits.push(d + 1);
                     debug_assert!(((d + 1) as u64) < base, "increment carried (Theorem 1)");
-                    (r + m_plus) - &s
+                    state.r -= &state.s;
                 } else {
                     digits.push(d);
-                    r + m_plus
-                };
-                return LoopExit {
-                    digits,
-                    gap_to_high,
-                    s,
-                };
+                }
+                return;
             }
         }
-    }
-}
-
-/// Runs free-format generation and packages the result.
-pub(crate) fn generate_free(
-    state: ScaledState,
-    base: u64,
-    inc: Inclusivity,
-    tie: TieBreak,
-) -> Digits {
-    let k = state.k;
-    let exit = generate(state, base, inc, tie);
-    debug_assert!(
-        exit.digits.first().is_some_and(|&d| d != 0),
-        "first digit must be non-zero (Theorem 1)"
-    );
-    Digits {
-        digits: exit.digits,
-        k,
     }
 }
 
@@ -179,11 +147,26 @@ mod tests {
     use fpp_bignum::PowerTable;
     use fpp_float::SoftFloat;
 
-    fn free_digits(v: f64, base: u64, inc: Inclusivity) -> Digits {
+    fn free_digits_with_tie(v: f64, base: u64, inc: Inclusivity, tie: TieBreak) -> Digits {
         let sf = SoftFloat::from_f64(v).expect("positive finite");
         let mut powers = PowerTable::new(base);
-        let st = ScalingStrategy::Estimate.scale(initial_state(&sf), &sf, inc.high_ok, &mut powers);
-        generate_free(st, base, inc, TieBreak::Up)
+        let mut scratch = fpp_bignum::Scratch::new();
+        let mut state = initial_state(&sf);
+        let k = ScalingStrategy::Estimate.scale_in(
+            &mut state,
+            &sf,
+            inc.high_ok,
+            &mut powers,
+            &mut scratch,
+        );
+        let mut digits = Vec::new();
+        let mut sum = Nat::zero();
+        generate_into(&mut state, base, inc, tie, &mut digits, &mut sum);
+        Digits { digits, k }
+    }
+
+    fn free_digits(v: f64, base: u64, inc: Inclusivity) -> Digits {
+        free_digits_with_tie(v, base, inc, TieBreak::Up)
     }
 
     const EXCLUSIVE: Inclusivity = Inclusivity {
@@ -251,11 +234,7 @@ mod tests {
         // the value is exactly 2.5 and both in range? 2.5's shortest is
         // "2.5" (exact), so no tie: all strategies agree.
         for tie in [TieBreak::Up, TieBreak::Down, TieBreak::Even] {
-            let sf = SoftFloat::from_f64(2.5).unwrap();
-            let mut powers = PowerTable::new(10);
-            let st =
-                ScalingStrategy::Estimate.scale(initial_state(&sf), &sf, false, &mut powers);
-            let d = generate_free(st, 10, EXCLUSIVE, tie);
+            let d = free_digits_with_tie(2.5, 10, EXCLUSIVE, tie);
             assert_eq!((d.digits.as_slice(), d.k), ([2, 5].as_slice(), 1));
         }
     }

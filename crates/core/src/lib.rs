@@ -42,13 +42,23 @@
 //!   [`fixed_format_digits_relative`] — the digit-generation engines
 //!   (explicit [`fpp_bignum::PowerTable`] for amortised reuse).
 //! * [`free_digits_exact`] — §2.2's rational-arithmetic reference oracle.
-//! * [`render`] / [`render_fixed`] / [`Notation`] — digit-to-text layout.
+//! * [`render`] / [`render_fixed`] / [`Notation`] — digit-to-text layout;
+//!   [`render_into`] / [`render_fixed_into`] emit through a sink.
+//! * [`DtoaContext`] / [`DigitSink`] — the zero-allocation layer: a
+//!   reusable context (power table, Table 1 registers, digit buffer,
+//!   scratch pool) and an output-sink trait ([`SliceSink`] for stack
+//!   buffers, `Vec<u8>`, [`FmtSink`] for `fmt::Write`). One warm-up
+//!   conversion grows every buffer to its high-water mark; after that
+//!   [`write_shortest`] / [`write_fixed`] and the builders' `write_to`
+//!   allocate nothing (see the root crate's `tests/alloc_count.rs`).
 //! * [`FreeFormat`] / [`FixedFormat`] — high-level builders over the above
-//!   (thread-local power caches, sign/zero/NaN handling).
+//!   (sign/zero/NaN handling); their `String` conveniences borrow a
+//!   thread-local [`DtoaContext`] via [`with_thread_context`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ctx;
 mod exact;
 pub mod figures;
 mod fixed;
@@ -56,8 +66,10 @@ mod free;
 mod generate;
 mod notation;
 mod scale;
+mod sink;
 mod stream;
 
+pub use ctx::DtoaContext;
 pub use exact::{fixed_digits_exact, free_digits_exact};
 pub use fixed::{
     fixed_format_digits_absolute, fixed_format_digits_relative, FixedDigits, FixedPrecision,
@@ -65,14 +77,16 @@ pub use fixed::{
 pub use free::free_format_digits;
 pub use generate::{Digits, Inclusivity, TieBreak};
 pub use notation::{
-    exponent_marker, render, render_fixed, render_fixed_in_base, render_fixed_styled,
-    render_in_base, render_styled, ExponentStyle, Notation, RenderOptions,
+    exponent_marker, render, render_fixed, render_fixed_in_base, render_fixed_into,
+    render_fixed_styled, render_in_base, render_into, render_styled, ExponentStyle, FixedLayout,
+    Notation, RenderOptions,
 };
-pub use stream::DigitStream;
 pub use scale::{
-    estimate_k, initial_state, EstimateScaler, GayScaler, InitialState, IterativeScaler,
-    LogScaler, ScaledState, Scaler, ScalingStrategy,
+    estimate_k, initial_state, EstimateScaler, GayScaler, InitialState, IterativeScaler, LogScaler,
+    ScaledState, Scaler, ScalingStrategy,
 };
+pub use sink::{DigitSink, FmtSink, SliceSink};
+pub use stream::DigitStream;
 
 use fpp_bignum::PowerTable;
 use fpp_float::{Decoded, FloatFormat, RoundingMode, SoftFloat};
@@ -80,22 +94,70 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 thread_local! {
-    /// Per-thread memoised powers of each output base, mirroring the
-    /// paper's persistent `10^k` table (Figure 2).
-    static POWER_TABLES: RefCell<HashMap<u64, PowerTable>> = RefCell::new(HashMap::new());
+    /// Per-thread conversion contexts, one per output base — memoised
+    /// powers (the paper's persistent `10^k` table, Figure 2) plus the
+    /// recycled big-integer and digit buffers of the pipeline.
+    static CONTEXTS: RefCell<HashMap<u64, DtoaContext>> = RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with this thread's cached [`DtoaContext`] for `base`. The
+/// `String`-returning conveniences all route through this cache, so repeated
+/// calls on a thread reuse one warm context and settle into zero
+/// steady-state allocation (beyond the `String`s themselves).
+pub fn with_thread_context<R>(base: u64, f: impl FnOnce(&mut DtoaContext) -> R) -> R {
+    CONTEXTS.with(|contexts| {
+        let mut contexts = contexts.borrow_mut();
+        let ctx = contexts
+            .entry(base)
+            .or_insert_with(|| DtoaContext::new(base));
+        f(ctx)
+    })
 }
 
 /// Runs `f` with this thread's cached [`PowerTable`] for `base` — the
 /// memoised `Bᵏ` table shared by all conversions on the thread (the paper's
 /// Figure 2 persistent `10ᵏ` table). Exposed so downstream layers (e.g. the
 /// facade's printf module) can amortise powers the same way the built-in
-/// formatters do.
+/// formatters do. The table is the one inside the thread's [`DtoaContext`]
+/// for that base.
 pub fn with_thread_powers<R>(base: u64, f: impl FnOnce(&mut PowerTable) -> R) -> R {
-    POWER_TABLES.with(|tables| {
-        let mut tables = tables.borrow_mut();
-        let table = tables.entry(base).or_insert_with(|| PowerTable::new(base));
-        f(table)
-    })
+    with_thread_context(base, |ctx| f(ctx.powers()))
+}
+
+/// Writes the shortest round-tripping base-`B` form of `v` into `sink`
+/// using `ctx`'s base and recycled buffers — the zero-allocation
+/// counterpart of [`print_shortest`] (identical bytes).
+///
+/// ```
+/// use fpp_core::{write_shortest, DtoaContext, SliceSink};
+/// let mut ctx = DtoaContext::new(10);
+/// let mut buf = [0u8; 32];
+/// let mut sink = SliceSink::new(&mut buf);
+/// write_shortest(&mut ctx, &mut sink, 1e23);
+/// assert_eq!(sink.as_str(), "1e23");
+/// ```
+pub fn write_shortest(ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: f64) {
+    FreeFormat::new().base(ctx.base()).write_to(ctx, sink, v);
+}
+
+/// Writes `v` with exactly `fraction_digits` fractional places (correctly
+/// rounded, `#` marks where the float's precision runs out) into `sink` —
+/// the zero-allocation counterpart of
+/// [`FixedFormat::fraction_digits`]`.format(v)` (identical bytes).
+///
+/// ```
+/// use fpp_core::{write_fixed, DtoaContext, SliceSink};
+/// let mut ctx = DtoaContext::new(10);
+/// let mut buf = [0u8; 32];
+/// let mut sink = SliceSink::new(&mut buf);
+/// write_fixed(&mut ctx, &mut sink, 2.5, 2);
+/// assert_eq!(sink.as_str(), "2.50");
+/// ```
+pub fn write_fixed(ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: f64, fraction_digits: u32) {
+    FixedFormat::new()
+        .base(ctx.base())
+        .fraction_digits(fraction_digits)
+        .write_to(ctx, sink, v);
 }
 
 /// Text used for the values the digit pipeline never sees.
@@ -253,30 +315,57 @@ impl FreeFormat {
         })
     }
 
+    /// Writes the formatted value into `sink`, reusing `ctx`'s buffers —
+    /// byte-identical to [`FreeFormat::format_float`], without allocating
+    /// once the context is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.base()` differs from this builder's base.
+    pub fn write_to<F: FloatFormat>(&self, ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: F) {
+        assert_eq!(
+            ctx.base(),
+            self.base,
+            "fpp_core: context base does not match the builder's base"
+        );
+        let decoded = v.decode();
+        if let Some(s) = special_str(decoded) {
+            sink.push_slice(s.as_bytes());
+            return;
+        }
+        let (negative, mantissa, exponent) = decoded.finite_parts().expect("finite");
+        if negative {
+            sink.push(b'-');
+        }
+        ctx.value
+            .assign_binary_parts(mantissa, exponent, F::PRECISION, F::MIN_EXP);
+        let k = free::free_format_into(
+            &ctx.value,
+            self.strategy,
+            self.rounding,
+            self.tie,
+            &mut ctx.powers,
+            &mut ctx.ws,
+        );
+        render_into(
+            sink,
+            &ctx.ws.digits,
+            k,
+            self.notation,
+            self.base,
+            &self.style,
+        );
+    }
+
     /// Formats any float implementing [`FloatFormat`] (`f32`, `f64`),
     /// including signs, zeros, infinities and NaN.
     #[must_use]
     pub fn format_float<F: FloatFormat>(&self, v: F) -> String {
-        let decoded = v.decode();
-        if let Some(s) = special_str(decoded) {
-            return s.to_string();
-        }
-        let (negative, mantissa, exponent) = decoded.finite_parts().expect("finite");
-        let sf = SoftFloat::new(
-            fpp_bignum::Nat::from(mantissa),
-            exponent,
-            2,
-            F::PRECISION,
-            F::MIN_EXP,
-        )
-        .expect("decoded floats satisfy the invariants");
-        let digits = self.digits(&sf);
-        let body = render_styled(&digits, self.notation, self.base, &self.style);
-        if negative {
-            format!("-{body}")
-        } else {
-            body
-        }
+        with_thread_context(self.base, |ctx| {
+            let mut out = Vec::with_capacity(24);
+            self.write_to(ctx, &mut out, v);
+            String::from_utf8(out).expect("formatter emits UTF-8")
+        })
     }
 
     /// Formats an `f64`.
@@ -437,33 +526,68 @@ impl FixedFormat {
         })
     }
 
+    /// Writes the formatted value into `sink`, reusing `ctx`'s buffers —
+    /// byte-identical to [`FixedFormat::format_float`], without allocating
+    /// once the context is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.base()` differs from this builder's base, or on the
+    /// precision bounds documented on the builder methods.
+    pub fn write_to<F: FloatFormat>(&self, ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: F) {
+        assert_eq!(
+            ctx.base(),
+            self.base,
+            "fpp_core: context base does not match the builder's base"
+        );
+        let decoded = v.decode();
+        if let Some(s) = special_str(decoded) {
+            sink.push_slice(s.as_bytes());
+            return;
+        }
+        let (negative, mantissa, exponent) = decoded.finite_parts().expect("finite");
+        if negative {
+            sink.push(b'-');
+        }
+        ctx.value
+            .assign_binary_parts(mantissa, exponent, F::PRECISION, F::MIN_EXP);
+        let meta = match self.precision {
+            FixedPrecision::AbsolutePosition(j) => fixed::fixed_format_into(
+                &ctx.value,
+                j,
+                self.strategy,
+                self.tie,
+                &mut ctx.powers,
+                &mut ctx.ws,
+            ),
+            FixedPrecision::SignificantDigits(i) => fixed::fixed_format_relative_into(
+                &ctx.value,
+                i,
+                self.strategy,
+                self.tie,
+                &mut ctx.powers,
+                &mut ctx.ws,
+            ),
+        };
+        let layout = FixedLayout {
+            digits: &ctx.ws.digits,
+            k: meta.k,
+            insignificant: meta.insignificant,
+            position: meta.position,
+            hash_marks: self.hash_marks,
+        };
+        render_fixed_into(sink, &layout, self.notation, self.base, &self.style);
+    }
+
     /// Formats any float implementing [`FloatFormat`], including signs,
     /// zeros, infinities and NaN.
     #[must_use]
     pub fn format_float<F: FloatFormat>(&self, v: F) -> String {
-        let decoded = v.decode();
-        if let Some(s) = special_str(decoded) {
-            return s.to_string();
-        }
-        let (negative, mantissa, exponent) = decoded.finite_parts().expect("finite");
-        let sf = SoftFloat::new(
-            fpp_bignum::Nat::from(mantissa),
-            exponent,
-            2,
-            F::PRECISION,
-            F::MIN_EXP,
-        )
-        .expect("decoded floats satisfy the invariants");
-        let digits = self.digits(&sf);
-        let mut body = render_fixed_styled(&digits, self.notation, self.base, &self.style);
-        if !self.hash_marks {
-            body = body.replace('#', "0");
-        }
-        if negative {
-            format!("-{body}")
-        } else {
-            body
-        }
+        with_thread_context(self.base, |ctx| {
+            let mut out = Vec::with_capacity(24);
+            self.write_to(ctx, &mut out, v);
+            String::from_utf8(out).expect("formatter emits UTF-8")
+        })
     }
 
     /// Formats an `f64`.

@@ -1,19 +1,22 @@
-//! Rendering digit sequences as strings.
+//! Rendering digit sequences as text.
 //!
 //! The algorithms produce positional digit data (`0.d₁d₂… × Bᵏ`); this module
 //! turns that into text: positional notation (`123.45`, `0.00071`),
 //! scientific notation (`1.2345e2`), or an automatic choice between them
 //! mirroring the behaviour of Scheme's `number->string` and the paper's
 //! examples (`0.3`, `1e23`).
+//!
+//! The engine is sink-based: [`render_into`] and [`render_fixed_into`] write
+//! bytes straight into any [`DigitSink`] without intermediate strings, so a
+//! conversion into a stack buffer allocates nothing. The `String`-returning
+//! functions ([`render_styled`] and friends) are thin wrappers collecting
+//! into a `Vec<u8>`.
 
 use crate::fixed::FixedDigits;
 use crate::generate::Digits;
+use crate::sink::DigitSink;
 
 const DIGIT_CHARS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
-
-fn digit_char(d: u8) -> char {
-    DIGIT_CHARS[d as usize] as char
-}
 
 /// How to lay out the digits of a printed number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +37,18 @@ pub enum Notation {
         /// Largest `k` (inclusive) still printed positionally.
         high: i32,
     },
+}
+
+impl Notation {
+    /// Whether digits with scale `k` lay out positionally under this
+    /// notation.
+    fn is_positional(self, k: i32) -> bool {
+        match self {
+            Notation::Positional => true,
+            Notation::Scientific => false,
+            Notation::Auto { low, high } => k > low && k <= high,
+        }
+    }
 }
 
 impl Default for Notation {
@@ -99,6 +114,38 @@ pub fn exponent_marker(base: u64) -> char {
     }
 }
 
+/// Fixed-format digit data plus layout flags for [`render_fixed_into`]:
+/// borrows the digit buffer so the zero-allocation pipeline can render
+/// straight out of its workspace.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLayout<'a> {
+    /// Base-`B` digit values (not ASCII), most significant first.
+    pub digits: &'a [u8],
+    /// Scale: the digits read `0.d₁d₂… × Bᵏ`.
+    pub k: i32,
+    /// Trailing positions whose digit is unknown (printed as `#` or `0`).
+    pub insignificant: usize,
+    /// The absolute position the output stops at (`B^position`).
+    pub position: i32,
+    /// `true` prints insignificant positions as `#` (the paper's §4 marks);
+    /// `false` prints zeros, as conventional `printf`-style output does.
+    pub hash_marks: bool,
+}
+
+impl FixedDigits {
+    /// Borrows this result as a [`FixedLayout`] for sink-based rendering.
+    #[must_use]
+    pub fn layout(&self, hash_marks: bool) -> FixedLayout<'_> {
+        FixedLayout {
+            digits: &self.digits,
+            k: self.k,
+            insignificant: self.insignificant,
+            position: self.position,
+            hash_marks,
+        }
+    }
+}
+
 /// Renders free-format digits with the given notation (base-10 exponent
 /// marker `e`; use [`render_in_base`] for other bases).
 #[must_use]
@@ -121,68 +168,25 @@ pub fn render_styled(
     base: u64,
     opts: &RenderOptions,
 ) -> String {
-    let body = match notation {
-        Notation::Positional => positional(&digits.digits, digits.k, 0),
-        Notation::Scientific => scientific(&digits.digits, digits.k, 0, exponent_marker(base)),
-        Notation::Auto { low, high } => {
-            if digits.k > low && digits.k <= high {
-                positional(&digits.digits, digits.k, 0)
-            } else {
-                scientific(&digits.digits, digits.k, 0, exponent_marker(base))
-            }
-        }
-    };
-    apply_style(&body, base, opts)
+    let mut out = Vec::with_capacity(digits.digits.len() + 8);
+    render_into(&mut out, &digits.digits, digits.k, notation, base, opts);
+    String::from_utf8(out).expect("renderer emits UTF-8")
 }
 
-/// Applies [`RenderOptions`] to a rendered body (separator swap, exponent
-/// restyle, grouping).
-fn apply_style(body: &str, base: u64, opts: &RenderOptions) -> String {
-    let marker = exponent_marker(base);
-    let (mantissa, exponent) = match body.split_once(marker) {
-        Some((m, e)) => (m, Some(e)),
-        None => (body, None),
-    };
-    let (int_part, frac_part) = match mantissa.split_once('.') {
-        Some((i, f)) => (i, Some(f)),
-        None => (mantissa, None),
-    };
-    let mut out = String::with_capacity(body.len() + 8);
-    match opts.group_separator {
-        None => out.push_str(int_part),
-        Some(sep) => {
-            let chars: Vec<char> = int_part.chars().collect();
-            for (i, c) in chars.iter().enumerate() {
-                if i > 0 && (chars.len() - i) % 3 == 0 {
-                    out.push(sep);
-                }
-                out.push(*c);
-            }
-        }
+/// Renders free-format digit values (`0.d₁d₂… × Bᵏ`) into a sink.
+pub fn render_into(
+    sink: &mut impl DigitSink,
+    digits: &[u8],
+    k: i32,
+    notation: Notation,
+    base: u64,
+    opts: &RenderOptions,
+) {
+    if notation.is_positional(k) {
+        positional_into(sink, digits, k, 0, true, opts);
+    } else {
+        scientific_into(sink, digits, k, 0, true, base, opts);
     }
-    if let Some(f) = frac_part {
-        out.push(opts.decimal_separator);
-        out.push_str(f);
-    }
-    if let Some(e) = exponent {
-        let value: i32 = e.parse().expect("exponent field is numeric");
-        match opts.exponent_style {
-            ExponentStyle::Minimal => {
-                out.push(marker);
-                out.push_str(e);
-            }
-            ExponentStyle::Uppercase => {
-                out.push(marker.to_ascii_uppercase());
-                out.push_str(e);
-            }
-            ExponentStyle::PrintfSigned => {
-                out.push(marker);
-                out.push(if value < 0 { '-' } else { '+' });
-                out.push_str(&format!("{:02}", value.abs()));
-            }
-        }
-    }
-    out
 }
 
 /// Renders fixed-format digits (including `#` marks) with the given
@@ -209,91 +213,183 @@ pub fn render_fixed_styled(
     base: u64,
     opts: &RenderOptions,
 ) -> String {
-    if digits.digits.is_empty() && digits.insignificant == 0 {
-        // The value rounded to zero at the requested precision.
-        return if digits.position >= 0 {
-            "0".to_string()
-        } else {
-            let mut s = String::from("0.");
-            s.extend(std::iter::repeat_n('0', (-digits.position) as usize));
-            s
-        };
-    }
-    let marker = exponent_marker(base);
-    let body = match notation {
-        Notation::Positional => positional(&digits.digits, digits.k, digits.insignificant),
-        Notation::Scientific => scientific(&digits.digits, digits.k, digits.insignificant, marker),
-        Notation::Auto { low, high } => {
-            if digits.k > low && digits.k <= high {
-                positional(&digits.digits, digits.k, digits.insignificant)
-            } else {
-                scientific(&digits.digits, digits.k, digits.insignificant, marker)
+    let mut out = Vec::with_capacity(digits.digits.len() + digits.insignificant + 8);
+    render_fixed_into(&mut out, &digits.layout(true), notation, base, opts);
+    String::from_utf8(out).expect("renderer emits UTF-8")
+}
+
+/// Renders fixed-format digits into a sink.
+pub fn render_fixed_into(
+    sink: &mut impl DigitSink,
+    layout: &FixedLayout<'_>,
+    notation: Notation,
+    base: u64,
+    opts: &RenderOptions,
+) {
+    if layout.digits.is_empty() && layout.insignificant == 0 {
+        // The value rounded to zero at the requested precision. This form
+        // deliberately uses the plain '.'/'0' characters irrespective of
+        // `opts` — zero has no digits to separate or group.
+        sink.push(b'0');
+        if layout.position < 0 {
+            sink.push(b'.');
+            for _ in 0..(-layout.position) {
+                sink.push(b'0');
             }
         }
-    };
-    apply_style(&body, base, opts)
+        return;
+    }
+    if notation.is_positional(layout.k) {
+        positional_into(
+            sink,
+            layout.digits,
+            layout.k,
+            layout.insignificant,
+            layout.hash_marks,
+            opts,
+        );
+    } else {
+        scientific_into(
+            sink,
+            layout.digits,
+            layout.k,
+            layout.insignificant,
+            layout.hash_marks,
+            base,
+            opts,
+        );
+    }
 }
 
-/// Positional layout of `0.d₁d₂… × Bᵏ` followed by `hashes` `#` marks.
-fn positional(digits: &[u8], k: i32, hashes: usize) -> String {
+/// The ASCII byte for output position `idx`: a digit, then `#`/`0` for the
+/// insignificant tail.
+fn position_byte(digits: &[u8], idx: usize, hash_marks: bool) -> u8 {
+    if idx < digits.len() {
+        DIGIT_CHARS[digits[idx] as usize]
+    } else if hash_marks {
+        b'#'
+    } else {
+        b'0'
+    }
+}
+
+/// Pushes a (possibly multi-byte) separator character.
+fn push_char(sink: &mut impl DigitSink, c: char) {
+    let mut buf = [0u8; 4];
+    sink.push_slice(c.encode_utf8(&mut buf).as_bytes());
+}
+
+/// Pushes the decimal digits of `v`, zero-padded to at least `min_width`.
+fn push_u32_padded(sink: &mut impl DigitSink, mut v: u32, min_width: usize) {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    while buf.len() - i < min_width {
+        i -= 1;
+        buf[i] = b'0';
+    }
+    sink.push_slice(&buf[i..]);
+}
+
+/// Pushes the exponent field (`e5`, `E-5`, `e+05`, …) for value `exp`.
+fn push_exponent(sink: &mut impl DigitSink, marker: char, exp: i32, style: ExponentStyle) {
+    match style {
+        ExponentStyle::Minimal => {
+            sink.push(marker as u8);
+            if exp < 0 {
+                sink.push(b'-');
+            }
+            push_u32_padded(sink, exp.unsigned_abs(), 1);
+        }
+        ExponentStyle::Uppercase => {
+            sink.push(marker.to_ascii_uppercase() as u8);
+            if exp < 0 {
+                sink.push(b'-');
+            }
+            push_u32_padded(sink, exp.unsigned_abs(), 1);
+        }
+        ExponentStyle::PrintfSigned => {
+            sink.push(marker as u8);
+            sink.push(if exp < 0 { b'-' } else { b'+' });
+            push_u32_padded(sink, exp.unsigned_abs(), 2);
+        }
+    }
+}
+
+/// Positional layout of `0.d₁d₂… × Bᵏ` followed by `hashes` insignificant
+/// marks, with grouping and separator styling applied on the fly.
+fn positional_into(
+    sink: &mut impl DigitSink,
+    digits: &[u8],
+    k: i32,
+    hashes: usize,
+    hash_marks: bool,
+    opts: &RenderOptions,
+) {
     let total = digits.len() + hashes; // digit positions k-1 down to k-total
-    let mut out = String::with_capacity(total + 8);
-    let emit = |out: &mut String, idx: usize| {
-        if idx < digits.len() {
-            out.push(digit_char(digits[idx]));
-        } else {
-            out.push('#');
-        }
-    };
     if k <= 0 {
-        out.push_str("0.");
+        // Integer part is the single digit 0 (never grouped).
+        sink.push(b'0');
+        push_char(sink, opts.decimal_separator);
         for _ in 0..(-k) {
-            out.push('0');
+            sink.push(b'0');
         }
         for i in 0..total {
-            emit(&mut out, i);
-        }
-    } else if (k as usize) >= total {
-        for i in 0..total {
-            emit(&mut out, i);
-        }
-        for _ in 0..(k as usize - total) {
-            out.push('0');
+            sink.push(position_byte(digits, i, hash_marks));
         }
     } else {
-        for i in 0..k as usize {
-            emit(&mut out, i);
+        // Integer part spans positions 0..k, padded with zeros past the
+        // generated digits; grouping counts every integer position,
+        // padding included.
+        let int_len = k as usize;
+        for i in 0..int_len {
+            if i > 0 && (int_len - i).is_multiple_of(3) {
+                if let Some(sep) = opts.group_separator {
+                    push_char(sink, sep);
+                }
+            }
+            sink.push(if i < total {
+                position_byte(digits, i, hash_marks)
+            } else {
+                b'0'
+            });
         }
-        out.push('.');
-        for i in k as usize..total {
-            emit(&mut out, i);
+        if int_len < total {
+            push_char(sink, opts.decimal_separator);
+            for i in int_len..total {
+                sink.push(position_byte(digits, i, hash_marks));
+            }
         }
     }
-    out
 }
 
-/// Scientific layout `d₁.d₂…e(k−1)` followed by `#` marks inside the
-/// fraction when present.
-fn scientific(digits: &[u8], k: i32, hashes: usize, marker: char) -> String {
+/// Scientific layout `d₁.d₂…e(k−1)` followed by insignificant marks inside
+/// the fraction when present.
+fn scientific_into(
+    sink: &mut impl DigitSink,
+    digits: &[u8],
+    k: i32,
+    hashes: usize,
+    hash_marks: bool,
+    base: u64,
+    opts: &RenderOptions,
+) {
     let total = digits.len() + hashes;
-    let mut out = String::with_capacity(total + 8);
-    let emit = |out: &mut String, idx: usize| {
-        if idx < digits.len() {
-            out.push(digit_char(digits[idx]));
-        } else {
-            out.push('#');
-        }
-    };
-    emit(&mut out, 0);
+    sink.push(position_byte(digits, 0, hash_marks));
     if total > 1 {
-        out.push('.');
+        push_char(sink, opts.decimal_separator);
         for i in 1..total {
-            emit(&mut out, i);
+            sink.push(position_byte(digits, i, hash_marks));
         }
     }
-    out.push(marker);
-    out.push_str(&(k - 1).to_string());
-    out
+    push_exponent(sink, exponent_marker(base), k - 1, opts.exponent_style);
 }
 
 #[cfg(test)]
@@ -314,19 +410,13 @@ mod tests {
         assert_eq!(render(&free(&[1], 3), Notation::Positional), "100");
         assert_eq!(render(&free(&[1, 2, 3], 2), Notation::Positional), "12.3");
         assert_eq!(render(&free(&[7], -3), Notation::Positional), "0.0007");
-        assert_eq!(
-            render(&free(&[1, 2, 3], 3), Notation::Positional),
-            "123"
-        );
+        assert_eq!(render(&free(&[1, 2, 3], 3), Notation::Positional), "123");
     }
 
     #[test]
     fn scientific_layouts() {
         assert_eq!(render(&free(&[1], 24), Notation::Scientific), "1e23");
-        assert_eq!(
-            render(&free(&[1, 5], 1), Notation::Scientific),
-            "1.5e0"
-        );
+        assert_eq!(render(&free(&[1, 5], 1), Notation::Scientific), "1.5e0");
         assert_eq!(render(&free(&[5], -323), Notation::Scientific), "5e-324");
     }
 
@@ -335,7 +425,10 @@ mod tests {
         let auto = Notation::default();
         assert_eq!(render(&free(&[3], 0), auto), "0.3");
         assert_eq!(render(&free(&[1], 24), auto), "1e23");
-        assert_eq!(render(&free(&[1], 21), auto), "1".to_string() + &"0".repeat(20));
+        assert_eq!(
+            render(&free(&[1], 21), auto),
+            "1".to_string() + &"0".repeat(20)
+        );
         assert_eq!(render(&free(&[1], 22), auto), "1e21");
         assert_eq!(render(&free(&[7], -6), auto), "7e-7");
         assert_eq!(render(&free(&[7], -5), auto), "0.000007");
@@ -343,14 +436,8 @@ mod tests {
 
     #[test]
     fn digits_above_nine_use_letters() {
-        assert_eq!(
-            render(&free(&[15, 15], 2), Notation::Positional),
-            "ff"
-        );
-        assert_eq!(
-            render(&free(&[35, 0, 1], 1), Notation::Positional),
-            "z.01"
-        );
+        assert_eq!(render(&free(&[15, 15], 2), Notation::Positional), "ff");
+        assert_eq!(render(&free(&[35, 0, 1], 1), Notation::Positional), "z.01");
     }
 
     #[test]
@@ -370,6 +457,16 @@ mod tests {
         };
         assert_eq!(render_fixed(&fd, Notation::Positional), "0.333###");
         assert_eq!(render_fixed(&fd, Notation::Scientific), "3.33###e-1");
+        // hash_marks = false prints the insignificant tail as zeros.
+        let mut out = Vec::new();
+        render_fixed_into(
+            &mut out,
+            &fd.layout(false),
+            Notation::Positional,
+            10,
+            &RenderOptions::default(),
+        );
+        assert_eq!(out, b"0.333000");
     }
 
     #[test]
@@ -432,5 +529,25 @@ mod tests {
             position: -3,
         };
         assert_eq!(render_fixed(&fd, Notation::Positional), "0.000");
+    }
+
+    #[test]
+    fn exponent_padding_widths() {
+        let opts = RenderOptions {
+            exponent_style: ExponentStyle::PrintfSigned,
+            ..RenderOptions::default()
+        };
+        assert_eq!(
+            render_styled(&free(&[1], 1), Notation::Scientific, 10, &opts),
+            "1e+00"
+        );
+        assert_eq!(
+            render_styled(&free(&[1], 124), Notation::Scientific, 10, &opts),
+            "1e+123"
+        );
+        assert_eq!(
+            render_styled(&free(&[1], -8), Notation::Scientific, 10, &opts),
+            "1e-09"
+        );
     }
 }

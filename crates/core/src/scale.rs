@@ -23,7 +23,7 @@
 //! * [`GayScaler`] — David Gay's five-flop first-degree Taylor estimator for
 //!   `log₁₀ v` (related work, §5), for the ablation benchmark.
 
-use fpp_bignum::{Nat, PowerTable};
+use fpp_bignum::{Nat, PowerTable, Scratch};
 use fpp_float::SoftFloat;
 
 /// The unscaled big-integer state of Table 1: `v = r/s`, `m⁺ = m_plus/s`,
@@ -107,77 +107,96 @@ pub fn initial_state(v: &SoftFloat) -> InitialState {
 /// All strategies produce identical [`ScaledState`]s (property-tested); they
 /// differ only in cost, which Table 2 of the paper measures.
 pub trait Scaler {
-    /// Scales `state` for output base `powers.base()`.
+    /// Scales `state` in place for output base `powers.base()`, returning
+    /// the scaling factor `k`. On return `r/s = v/B^(k-1)`, ready for digit
+    /// generation.
     ///
     /// `value` describes the float being printed (the estimators read its
     /// mantissa length and exponent). `high_ok` is true when the upper
     /// endpoint of the rounding range itself reads back as `v`, in which
-    /// case `k` must satisfy the strict `high < Bᵏ`.
-    fn scale(
+    /// case `k` must satisfy the strict `high < Bᵏ`. `scratch` supplies
+    /// recycled limb buffers so a warmed-up pipeline scales without heap
+    /// allocation.
+    fn scale_in(
         &self,
-        state: InitialState,
+        state: &mut InitialState,
         value: &SoftFloat,
         high_ok: bool,
         powers: &mut PowerTable,
-    ) -> ScaledState;
-}
+        scratch: &mut Scratch,
+    ) -> i32;
 
-/// `high ≥ Bᵏ` test against the current scale, honouring inclusivity.
-fn too_low(r: &Nat, m_plus: &Nat, s: &Nat, high_ok: bool) -> bool {
-    let sum = r + m_plus;
-    if high_ok {
-        sum >= *s
-    } else {
-        sum > *s
+    /// Value-passing convenience over [`Scaler::scale_in`] (allocates its
+    /// own scratch; the batch entry points use this, the `write_*` pipeline
+    /// uses `scale_in` with the context's pooled buffers).
+    fn scale(
+        &self,
+        mut state: InitialState,
+        value: &SoftFloat,
+        high_ok: bool,
+        powers: &mut PowerTable,
+    ) -> ScaledState {
+        let mut scratch = Scratch::new();
+        let k = self.scale_in(&mut state, value, high_ok, powers, &mut scratch);
+        ScaledState {
+            r: state.r,
+            s: state.s,
+            m_plus: state.m_plus,
+            m_minus: state.m_minus,
+            k,
+        }
     }
 }
 
-/// Applies a power-of-`B` estimate to the initial state, then checks it and
-/// finishes in the canonical `r/s = v/B^(k-1)` form.
+/// `high ≥ Bᵏ` test against the current scale, honouring inclusivity; `sum`
+/// is a recycled buffer for `r + m⁺`.
+fn too_low(state: &InitialState, sum: &mut Nat, high_ok: bool) -> bool {
+    sum.set_sum(&state.r, &state.m_plus);
+    if high_ok {
+        *sum >= state.s
+    } else {
+        *sum > state.s
+    }
+}
+
+/// Applies a power-of-`B` estimate to the state in place, then checks it
+/// and finishes in the canonical `r/s = v/B^(k-1)` form, returning `k`.
 ///
 /// The estimate must never overshoot and may undershoot by at most one —
 /// exactly the §3.2 contract. When it is one low, the bump costs nothing
 /// beyond the comparison: the state is already in generation form. When it
 /// is exact, the one multiply performed here is the multiply the first
 /// generation step needs anyway (Figure 3's `fixup`).
-fn apply_estimate(
-    mut state: InitialState,
+fn apply_estimate_in(
+    state: &mut InitialState,
     est: i32,
     high_ok: bool,
     powers: &mut PowerTable,
-) -> ScaledState {
+    scratch: &mut Scratch,
+) -> i32 {
     if est >= 0 {
-        state.s = powers.scale(&state.s, est as u32);
+        powers.scale_assign(&mut state.s, est as u32, scratch);
     } else {
-        let scale = powers.pow(-est as u32).clone();
-        state.r = &state.r * &scale;
-        state.m_plus = &state.m_plus * &scale;
-        state.m_minus = &state.m_minus * &scale;
+        let exp = -est as u32;
+        powers.scale_assign(&mut state.r, exp, scratch);
+        powers.scale_assign(&mut state.m_plus, exp, scratch);
+        powers.scale_assign(&mut state.m_minus, exp, scratch);
     }
     let base = powers.base();
-    if too_low(&state.r, &state.m_plus, &state.s, high_ok) {
+    let mut sum = scratch.take();
+    let low = too_low(state, &mut sum, high_ok);
+    scratch.put(sum);
+    if low {
         // Estimate was one low: k = est + 1, and r/s already equals
         // v/B^(k-1). No corrective multiplication needed.
-        ScaledState {
-            r: state.r,
-            s: state.s,
-            m_plus: state.m_plus,
-            m_minus: state.m_minus,
-            k: est + 1,
-        }
+        est + 1
     } else {
         // Estimate was exact: k = est; advance one position so that
         // r/s = v/B^(k-1) (the multiply the first digit step consumes).
         state.r.mul_u64(base);
         state.m_plus.mul_u64(base);
         state.m_minus.mul_u64(base);
-        ScaledState {
-            r: state.r,
-            s: state.s,
-            m_plus: state.m_plus,
-            m_minus: state.m_minus,
-            k: est,
-        }
+        est
     }
 }
 
@@ -191,40 +210,34 @@ fn apply_estimate(
 pub struct IterativeScaler;
 
 impl Scaler for IterativeScaler {
-    fn scale(
+    fn scale_in(
         &self,
-        mut state: InitialState,
+        state: &mut InitialState,
         _value: &SoftFloat,
         high_ok: bool,
         powers: &mut PowerTable,
-    ) -> ScaledState {
+        scratch: &mut Scratch,
+    ) -> i32 {
         let base = powers.base();
         let mut k: i32 = 0;
+        let mut sum = scratch.take();
         loop {
-            if too_low(&state.r, &state.m_plus, &state.s, high_ok) {
+            if too_low(state, &mut sum, high_ok) {
                 // k too low
                 state.s.mul_u64(base);
                 k += 1;
             } else {
-                let r_b = state.r.mul_u64_ref(base);
-                let m_plus_b = state.m_plus.mul_u64_ref(base);
-                if too_low(&r_b, &m_plus_b, &state.s, high_ok) {
+                // Premultiply the numerators (the lookahead the original
+                // formulation performs on copies) and re-test.
+                state.r.mul_u64(base);
+                state.m_plus.mul_u64(base);
+                state.m_minus.mul_u64(base);
+                if too_low(state, &mut sum, high_ok) {
                     // k correct: the premultiplied state is generation form.
-                    return ScaledState {
-                        r: r_b,
-                        s: state.s,
-                        m_plus: m_plus_b,
-                        m_minus: {
-                            state.m_minus.mul_u64(base);
-                            state.m_minus
-                        },
-                        k,
-                    };
+                    scratch.put(sum);
+                    return k;
                 }
                 // k too high
-                state.r = r_b;
-                state.m_plus = m_plus_b;
-                state.m_minus.mul_u64(base);
                 k -= 1;
             }
         }
@@ -259,16 +272,17 @@ const LOG_FUDGE: f64 = 1e-10;
 pub struct LogScaler;
 
 impl Scaler for LogScaler {
-    fn scale(
+    fn scale_in(
         &self,
-        state: InitialState,
+        state: &mut InitialState,
         value: &SoftFloat,
         high_ok: bool,
         powers: &mut PowerTable,
-    ) -> ScaledState {
+        scratch: &mut Scratch,
+    ) -> i32 {
         let log_b_v = log2_of(value) / (powers.base() as f64).log2();
         let est = (log_b_v - LOG_FUDGE).ceil() as i32;
-        apply_estimate(state, est, high_ok, powers)
+        apply_estimate_in(state, est, high_ok, powers, scratch)
     }
 }
 
@@ -302,15 +316,16 @@ pub fn estimate_k(value: &SoftFloat, output_base: u64) -> i32 {
 }
 
 impl Scaler for EstimateScaler {
-    fn scale(
+    fn scale_in(
         &self,
-        state: InitialState,
+        state: &mut InitialState,
         value: &SoftFloat,
         high_ok: bool,
         powers: &mut PowerTable,
-    ) -> ScaledState {
+        scratch: &mut Scratch,
+    ) -> i32 {
         let est = estimate_k(value, powers.base());
-        apply_estimate(state, est, high_ok, powers)
+        apply_estimate_in(state, est, high_ok, powers, scratch)
     }
 }
 
@@ -327,15 +342,16 @@ impl Scaler for EstimateScaler {
 pub struct GayScaler;
 
 impl Scaler for GayScaler {
-    fn scale(
+    fn scale_in(
         &self,
-        state: InitialState,
+        state: &mut InitialState,
         value: &SoftFloat,
         high_ok: bool,
         powers: &mut PowerTable,
-    ) -> ScaledState {
+        scratch: &mut Scratch,
+    ) -> i32 {
         if powers.base() != 10 || value.base() != 2 {
-            return EstimateScaler.scale(state, value, high_ok, powers);
+            return EstimateScaler.scale_in(state, value, high_ok, powers, scratch);
         }
         // v = x · 2^s2 with x ∈ [1, 2):
         // log10 v ≈ ((x − 1.5)/1.5) / ln 10 + log10(1.5) + s2·log10 2.
@@ -355,7 +371,7 @@ impl Scaler for GayScaler {
         const TANGENT_MARGIN: f64 = 0.0314;
         let log10_v = (x - 1.5) * INV_LN10_OVER_1_5 + LOG10_1_5 + s2 * LOG10_2 - TANGENT_MARGIN;
         let est = (log10_v - LOG_FUDGE).ceil() as i32;
-        apply_estimate(state, est, high_ok, powers)
+        apply_estimate_in(state, est, high_ok, powers, scratch)
     }
 }
 
@@ -390,6 +406,27 @@ impl ScalingStrategy {
             ScalingStrategy::Log => LogScaler.scale(state, value, high_ok, powers),
             ScalingStrategy::Iterative => IterativeScaler.scale(state, value, high_ok, powers),
             ScalingStrategy::Gay => GayScaler.scale(state, value, high_ok, powers),
+        }
+    }
+
+    /// Runs the chosen strategy in place (see [`Scaler::scale_in`]).
+    pub fn scale_in(
+        self,
+        state: &mut InitialState,
+        value: &SoftFloat,
+        high_ok: bool,
+        powers: &mut PowerTable,
+        scratch: &mut Scratch,
+    ) -> i32 {
+        match self {
+            ScalingStrategy::Estimate => {
+                EstimateScaler.scale_in(state, value, high_ok, powers, scratch)
+            }
+            ScalingStrategy::Log => LogScaler.scale_in(state, value, high_ok, powers, scratch),
+            ScalingStrategy::Iterative => {
+                IterativeScaler.scale_in(state, value, high_ok, powers, scratch)
+            }
+            ScalingStrategy::Gay => GayScaler.scale_in(state, value, high_ok, powers, scratch),
         }
     }
 }
@@ -537,7 +574,10 @@ mod tests {
             let exact = v.log10();
             let k_true = exact.ceil() as i32;
             assert!(est <= k_true, "estimate {est} overshoots {k_true} for {v}");
-            assert!(est >= k_true - 1, "estimate {est} more than one low for {v}");
+            assert!(
+                est >= k_true - 1,
+                "estimate {est} more than one low for {v}"
+            );
         }
     }
 

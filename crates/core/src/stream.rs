@@ -33,6 +33,8 @@ pub struct DigitStream {
     s: Nat,
     m_plus: Nat,
     m_minus: Nat,
+    /// Recycled buffer for the per-digit `r + m⁺` termination test.
+    sum: Nat,
     base: u64,
     inc: Inclusivity,
     tie: TieBreak,
@@ -44,13 +46,7 @@ impl DigitStream {
     /// Starts a stream with the default strategy and upward printer ties.
     #[must_use]
     pub fn new(v: &SoftFloat, rounding: RoundingMode, powers: &mut PowerTable) -> Self {
-        DigitStream::with_options(
-            v,
-            ScalingStrategy::Estimate,
-            rounding,
-            TieBreak::Up,
-            powers,
-        )
+        DigitStream::with_options(v, ScalingStrategy::Estimate, rounding, TieBreak::Up, powers)
     }
 
     /// Starts a stream with explicit strategy and tie rule.
@@ -76,6 +72,7 @@ impl DigitStream {
             s,
             m_plus,
             m_minus,
+            sum: Nat::zero(),
             base: powers.base(),
             inc,
             tie,
@@ -104,19 +101,17 @@ impl Iterator for DigitStream {
         if self.done {
             return None;
         }
-        let d = self.r.div_rem_in_place_u64(&self.s) as u8;
+        let d = self.r.div_rem_step(&self.s) as u8;
         let tc1 = if self.inc.low_ok {
             self.r <= self.m_minus
         } else {
             self.r < self.m_minus
         };
-        let tc2 = {
-            let sum = &self.r + &self.m_plus;
-            if self.inc.high_ok {
-                sum >= self.s
-            } else {
-                sum > self.s
-            }
+        self.sum.set_sum(&self.r, &self.m_plus);
+        let tc2 = if self.inc.high_ok {
+            self.sum >= self.s
+        } else {
+            self.sum > self.s
         };
         match (tc1, tc2) {
             (false, false) => {
@@ -135,7 +130,7 @@ impl Iterator for DigitStream {
             }
             (true, true) => {
                 self.done = true;
-                let round_up = match self.r.mul_u64_ref(2).cmp(&self.s) {
+                let round_up = match self.r.double_cmp(&self.s) {
                     std::cmp::Ordering::Less => false,
                     std::cmp::Ordering::Greater => true,
                     std::cmp::Ordering::Equal => match self.tie {

@@ -105,8 +105,15 @@ fn check_one(v: &SoftFloat, out_base: u64, inc: Inclusivity, powers: &mut PowerT
         } else {
             &out + &unit
         };
-        let other_in_range = (if inc.low_ok { other >= nb.low } else { other > nb.low })
-            && (if inc.high_ok { other <= nb.high } else { other < nb.high });
+        let other_in_range = (if inc.low_ok {
+            other >= nb.low
+        } else {
+            other > nb.low
+        }) && (if inc.high_ok {
+            other <= nb.high
+        } else {
+            other < nb.high
+        });
         assert!(
             !other_in_range,
             "not correctly rounded for {v} base {out_base}: err {err} > {bound} with a valid alternative"
@@ -127,12 +134,15 @@ fn check_one(v: &SoftFloat, out_base: u64, inc: Inclusivity, powers: &mut PowerT
         );
         let up = &down + &Rat::pow_i32(out_base, fast.k - (n as i32 - 1));
         let in_range = |x: &Rat| {
-            (if inc.low_ok { *x >= nb.low } else { *x > nb.low })
-                && (if inc.high_ok {
-                    *x <= nb.high
-                } else {
-                    *x < nb.high
-                })
+            (if inc.low_ok {
+                *x >= nb.low
+            } else {
+                *x > nb.low
+            }) && (if inc.high_ok {
+                *x <= nb.high
+            } else {
+                *x < nb.high
+            })
         };
         assert!(
             !in_range(&down) && !in_range(&up),
@@ -151,10 +161,22 @@ fn exhaustive_binary_toy_format() {
         let mut powers = PowerTable::new(out_base);
         for v in &values {
             for inc in [
-                Inclusivity { low_ok: false, high_ok: false },
-                Inclusivity { low_ok: true, high_ok: false },
-                Inclusivity { low_ok: false, high_ok: true },
-                Inclusivity { low_ok: true, high_ok: true },
+                Inclusivity {
+                    low_ok: false,
+                    high_ok: false,
+                },
+                Inclusivity {
+                    low_ok: true,
+                    high_ok: false,
+                },
+                Inclusivity {
+                    low_ok: false,
+                    high_ok: true,
+                },
+                Inclusivity {
+                    low_ok: true,
+                    high_ok: true,
+                },
             ] {
                 check_one(v, out_base, inc, &mut powers);
             }
@@ -174,7 +196,10 @@ fn exhaustive_decimal_input_format() {
             check_one(
                 v,
                 out_base,
-                Inclusivity { low_ok: false, high_ok: false },
+                Inclusivity {
+                    low_ok: false,
+                    high_ok: false,
+                },
                 &mut powers,
             );
         }
@@ -189,7 +214,10 @@ fn exhaustive_ternary_input_format() {
         check_one(
             v,
             10,
-            Inclusivity { low_ok: false, high_ok: false },
+            Inclusivity {
+                low_ok: false,
+                high_ok: false,
+            },
             &mut powers,
         );
     }
@@ -344,7 +372,10 @@ mod concurrency {
             .map(|i| f64::from_bits(0x3FF0_0000_0000_0001u64.wrapping_mul(i * 2 + 1)))
             .filter(|v| v.is_finite() && *v > 0.0)
             .collect();
-        let expected: Vec<String> = values.iter().map(|&v| fpp_core::print_shortest(v)).collect();
+        let expected: Vec<String> = values
+            .iter()
+            .map(|&v| fpp_core::print_shortest(v))
+            .collect();
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let values = values.clone();

@@ -107,15 +107,21 @@ macro_rules! impl_float_format {
                 }
                 debug_assert!(mantissa < (1 << ($mant_bits + 1)), "mantissa too wide");
                 debug_assert!(
-                    (<Self as FloatFormat>::MIN_EXP..=<Self as FloatFormat>::MAX_EXP).contains(&exponent),
+                    (<Self as FloatFormat>::MIN_EXP..=<Self as FloatFormat>::MAX_EXP)
+                        .contains(&exponent),
                     "exponent out of range"
                 );
                 let bits = if mantissa < (1 << $mant_bits) {
-                    debug_assert!(exponent == <Self as FloatFormat>::MIN_EXP, "unnormalized mantissa");
+                    debug_assert!(
+                        exponent == <Self as FloatFormat>::MIN_EXP,
+                        "unnormalized mantissa"
+                    );
                     sign_bit | mantissa as $bits
                 } else {
                     let biased = (exponent - (<Self as FloatFormat>::MIN_EXP - 1)) as $bits;
-                    sign_bit | (biased << $mant_bits) | (mantissa as $bits & ((1 << $mant_bits) - 1))
+                    sign_bit
+                        | (biased << $mant_bits)
+                        | (mantissa as $bits & ((1 << $mant_bits) - 1))
                 };
                 <$f>::from_bits(bits)
             }
@@ -231,7 +237,10 @@ mod tests {
                 exponent: -1074
             }
         );
-        assert_eq!(f64::INFINITY.decode(), Decoded::Infinite { negative: false });
+        assert_eq!(
+            f64::INFINITY.decode(),
+            Decoded::Infinite { negative: false }
+        );
         assert_eq!(
             f64::NEG_INFINITY.decode(),
             Decoded::Infinite { negative: true }

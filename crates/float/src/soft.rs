@@ -143,6 +143,37 @@ impl SoftFloat {
         SoftFloat::from_float(v)
     }
 
+    /// Overwrites this value with freshly decoded binary-format parts,
+    /// reusing the mantissa's limb buffer — the allocation-free counterpart
+    /// of [`SoftFloat::from_float`] for conversion pipelines that keep one
+    /// `SoftFloat` alive across calls.
+    ///
+    /// The caller asserts the parts come from a valid decode (`mantissa`
+    /// non-zero, normalized unless at `min_exp`); this is checked only in
+    /// debug builds.
+    ///
+    /// ```
+    /// use fpp_float::SoftFloat;
+    /// let mut v = SoftFloat::from_f64(1.0).unwrap();
+    /// let (m, e) = (SoftFloat::from_f64(0.3).unwrap().mantissa().clone(),
+    ///               SoftFloat::from_f64(0.3).unwrap().exponent());
+    /// v.assign_binary_parts(u64::try_from(&m).unwrap(), e, 53, -1074);
+    /// assert_eq!(v, SoftFloat::from_f64(0.3).unwrap());
+    /// ```
+    pub fn assign_binary_parts(&mut self, mantissa: u64, exponent: i32, p: u32, min_e: i32) {
+        debug_assert!(mantissa != 0, "mantissa must be non-zero");
+        debug_assert!(exponent >= min_e, "exponent below the format minimum");
+        self.f.assign_u64(mantissa);
+        self.e = exponent;
+        self.b = 2;
+        self.p = p;
+        self.min_e = min_e;
+        debug_assert!(
+            self.e == self.min_e || self.f.bit_len() == u64::from(self.p),
+            "mantissa not normalized above min_e"
+        );
+    }
+
     /// The mantissa `f`.
     #[must_use]
     pub fn mantissa(&self) -> &Nat {
@@ -183,6 +214,12 @@ impl SoftFloat {
     /// `f = bᵖ⁻¹`, where the gap to the predecessor narrows (§2.1).
     #[must_use]
     pub fn is_boundary(&self) -> bool {
+        if self.b == 2 {
+            // f = 2^(p-1): one set bit, at position p-1. Checked without
+            // materialising the power (this runs once per conversion).
+            return self.f.bit_len() == u64::from(self.p)
+                && self.f.limbs().iter().map(|l| l.count_ones()).sum::<u32>() == 1;
+        }
         self.f == Nat::from(self.b).pow(self.p - 1)
     }
 

@@ -1,8 +1,8 @@
 //! Exact big-integer conversion of a parsed literal to a correctly rounded
 //! hardware float (Clinger's AlgorithmM/AlgorithmR family).
 
-use crate::parse::Literal;
 use crate::fast::fast_path;
+use crate::parse::Literal;
 use fpp_bignum::Nat;
 use fpp_float::{FloatFormat, RoundingMode};
 

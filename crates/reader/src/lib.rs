@@ -107,5 +107,9 @@ pub fn read_float<F: FloatFormat>(
 /// ```
 pub fn read_hex<F: FloatFormat>(s: &str) -> Result<F, ParseFloatError> {
     let literal = parse_hex_literal(s)?;
-    Ok(decimal_to_float::<F>(&literal, 2, RoundingMode::NearestEven))
+    Ok(decimal_to_float::<F>(
+        &literal,
+        2,
+        RoundingMode::NearestEven,
+    ))
 }

@@ -320,7 +320,10 @@ mod tests {
 
     #[test]
     fn specials() {
-        assert_eq!(parse_literal("inf", 10).unwrap(), Literal::Infinity { negative: false });
+        assert_eq!(
+            parse_literal("inf", 10).unwrap(),
+            Literal::Infinity { negative: false }
+        );
         assert_eq!(
             parse_literal("-Infinity", 10).unwrap(),
             Literal::Infinity { negative: true }
@@ -350,7 +353,9 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "-", ".", "e5", "1..2", "1ee5", "1e", "1e+", "0x1", "12 3"] {
+        for bad in [
+            "", "-", ".", "e5", "1..2", "1ee5", "1e", "1e+", "0x1", "12 3",
+        ] {
             assert!(parse_literal(bad, 10).is_err(), "{bad:?}");
         }
         assert!(parse_literal("z", 35).is_err());

@@ -115,12 +115,10 @@ fn convert_soft(
 
     // num/den = |value| exactly, in terms of the literal base.
     let (num, den) = if parts.exponent >= 0 {
-        let scale =
-            Nat::from(literal_base).pow(u32::try_from(parts.exponent).expect("screened"));
+        let scale = Nat::from(literal_base).pow(u32::try_from(parts.exponent).expect("screened"));
         (&parts.digits * &scale, Nat::one())
     } else {
-        let scale =
-            Nat::from(literal_base).pow(u32::try_from(-parts.exponent).expect("screened"));
+        let scale = Nat::from(literal_base).pow(u32::try_from(-parts.exponent).expect("screened"));
         (parts.digits.clone(), scale)
     };
     if num.is_zero() {
@@ -128,8 +126,8 @@ fn convert_soft(
     }
 
     // Find e with f = round(num / (den·btᵉ)) in [bt^(p−1), bt^p), or e = min_e.
-    let mut e = ((num.bit_len() as f64 - den.bit_len() as f64) / log2_bt).floor() as i64
-        - i64::from(p);
+    let mut e =
+        ((num.bit_len() as f64 - den.bit_len() as f64) / log2_bt).floor() as i64 - i64::from(p);
     e = e.max(i64::from(min_e));
     let bt_lo = Nat::from(bt).pow(p - 1);
     let bt_hi = Nat::from(bt).pow(p);

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prng;
 pub mod random;
 pub mod schryer;
 pub mod special;

@@ -132,8 +132,16 @@ mod tests {
 
     #[test]
     fn deterministic_order() {
-        let a: Vec<u64> = SchryerSet::new().iter().take(500).map(f64::to_bits).collect();
-        let b: Vec<u64> = SchryerSet::new().iter().take(500).map(f64::to_bits).collect();
+        let a: Vec<u64> = SchryerSet::new()
+            .iter()
+            .take(500)
+            .map(f64::to_bits)
+            .collect();
+        let b: Vec<u64> = SchryerSet::new()
+            .iter()
+            .take(500)
+            .map(f64::to_bits)
+            .collect();
         assert_eq!(a, b);
     }
 }

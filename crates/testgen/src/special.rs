@@ -15,8 +15,8 @@ pub fn special_values() -> Vec<f64> {
     let mut v = vec![
         // Format boundaries.
         f64::MAX,
-        f64::MIN_POSITIVE,           // smallest normal
-        f64::from_bits(1),           // smallest subnormal
+        f64::MIN_POSITIVE,                  // smallest normal
+        f64::from_bits(1),                  // smallest subnormal
         f64::from_bits(0xF_FFFF_FFFF_FFFF), // largest subnormal
         // (largest subnormal also reachable as MIN_POSITIVE - 1 ulp; dedup below)
         // The paper's flagship example: exactly halfway between doubles.
@@ -29,7 +29,7 @@ pub fn special_values() -> Vec<f64> {
         1.0 / 3.0,
         5e-324,
         2.2250738585072014e-308, // smallest normal, decimal form
-        2.225073858507201e-308, // just below the smallest normal (PHP/Java hang region)
+        2.225073858507201e-308,  // just below the smallest normal (PHP/Java hang region)
         9.109383632e-31,         // electron mass: dense digits
         6.02214076e23,
         // Powers of two around precision boundaries.

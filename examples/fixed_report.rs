@@ -40,7 +40,10 @@ fn main() {
     let paper = FixedFormat::new()
         .absolute_position(-20)
         .notation(Notation::Positional);
-    println!("\npaper example, 100 to position -20:\n  {}", paper.format(100.0));
+    println!(
+        "\npaper example, 100 to position -20:\n  {}",
+        paper.format(100.0)
+    );
 
     // Disable the marks to see the conventional (lying) rendering.
     let conventional = FixedFormat::new()
@@ -54,5 +57,8 @@ fn main() {
 
     // f32: the paper's ~7-digit illustration.
     let f10 = FixedFormat::new().fraction_digits(10);
-    println!("\nf32 1/3 to 10 places:\n  {}", f10.format_f32(1.0f32 / 3.0));
+    println!(
+        "\nf32 1/3 to 10 places:\n  {}",
+        f10.format_f32(1.0f32 / 3.0)
+    );
 }

@@ -6,7 +6,7 @@
 
 use fpp::core::{Notation, ScalingStrategy, TieBreak};
 use fpp::float::RoundingMode;
-use fpp::{print_shortest, FixedFormat, FreeFormat};
+use fpp::{print_shortest, DtoaContext, FixedFormat, FreeFormat, SliceSink};
 
 fn main() {
     // ── Free format: the shortest string that reads back identically ──────
@@ -20,7 +20,10 @@ fn main() {
     let conservative = FreeFormat::new().rounding(RoundingMode::Conservative);
     println!("\ninput-rounding awareness (1e23):");
     println!("  assuming round-to-even reader : {}", print_shortest(1e23));
-    println!("  assuming unknown reader       : {}", conservative.format(1e23));
+    println!(
+        "  assuming unknown reader       : {}",
+        conservative.format(1e23)
+    );
 
     // ── Fixed format with # marks (§4) ─────────────────────────────────────
     println!("\nfixed format (# marks insignificant digits):");
@@ -47,12 +50,28 @@ fn main() {
     let even_ties = FreeFormat::new().tie_break(TieBreak::Even);
     println!("  even tie-breaking     : {}", even_ties.format(0.5));
 
+    // ── Zero-allocation conversion into a stack buffer ─────────────────────
+    println!("\nsink API (no heap allocation after warm-up):");
+    let mut ctx = DtoaContext::new(10);
+    let mut buf = [0u8; 32];
+    for v in [0.1, 2.0f64.powi(-30), 6.02214076e23] {
+        let mut sink = SliceSink::new(&mut buf);
+        fpp::write_shortest(&mut ctx, &mut sink, v);
+        println!("  {v:>25e}  ->  {}", sink.as_str());
+    }
+
     // ── The accurate reader (round-trip verification in-repo) ─────────────
     println!("\naccurate reader:");
     let s = print_shortest(0.1 + 0.2);
     let back = fpp::reader::read_f64(&s).expect("well-formed");
-    println!("  0.1 + 0.2 prints as {s}; reads back equal: {}", back == 0.1 + 0.2);
+    println!(
+        "  0.1 + 0.2 prints as {s}; reads back equal: {}",
+        back == 0.1 + 0.2
+    );
     let truncating: f64 =
         fpp::reader::read_float("0.1", 10, RoundingMode::TowardZero).expect("well-formed");
-    println!("  \"0.1\" under truncating read : {}", print_shortest(truncating));
+    println!(
+        "  \"0.1\" under truncating read : {}",
+        print_shortest(truncating)
+    );
 }

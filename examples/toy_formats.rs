@@ -10,7 +10,7 @@
 
 use fpp::bignum::Nat;
 use fpp::core::{FreeFormat, Notation};
-use fpp::float::{Bf16, F16, RoundingMode, SoftFloat};
+use fpp::float::{Bf16, RoundingMode, SoftFloat, F16};
 use fpp::reader::{read_soft, SoftFormat, SoftReadResult};
 
 fn main() {
@@ -42,8 +42,8 @@ fn main() {
         min_exp: -10,
         max_exp: 10,
     };
-    let (neg, read) = read_soft("0.33333333", 10, RoundingMode::NearestEven, &dec3)
-        .expect("well-formed");
+    let (neg, read) =
+        read_soft("0.33333333", 10, RoundingMode::NearestEven, &dec3).expect("well-formed");
     assert!(!neg);
     if let SoftReadResult::Finite(v) = read {
         println!("  reading 0.33333333 stores {v}");

@@ -28,6 +28,23 @@
 //!     .format(1.0f64 / 3.0);
 //! assert_eq!(s, "0.3333333333");
 //! ```
+//!
+//! # Zero-allocation conversion
+//!
+//! The `String`-returning functions above allocate only their output; the
+//! conversion pipeline itself runs on recycled buffers. To avoid even the
+//! output allocation, borrow a [`DtoaContext`] and write into any
+//! [`DigitSink`] (a stack buffer via [`SliceSink`], a `Vec<u8>`, or any
+//! `fmt::Write` via [`FmtSink`]):
+//!
+//! ```
+//! use fpp::{write_shortest, DtoaContext, SliceSink};
+//! let mut ctx = DtoaContext::new(10);
+//! let mut buf = [0u8; 32];
+//! let mut sink = SliceSink::new(&mut buf);
+//! write_shortest(&mut ctx, &mut sink, 0.3);
+//! assert_eq!(sink.as_str(), "0.3");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,4 +59,7 @@ pub use fpp_float as float;
 pub use fpp_reader as reader;
 pub use fpp_testgen as testgen;
 
-pub use fpp_core::{print_shortest, print_shortest_base, FixedFormat, FreeFormat};
+pub use fpp_core::{
+    print_shortest, print_shortest_base, write_fixed, write_shortest, DigitSink, DtoaContext,
+    FixedFormat, FmtSink, FreeFormat, SliceSink,
+};

@@ -12,9 +12,7 @@ use fpp_float::{Decoded, FloatFormat, SoftFloat};
 fn special(v: f64) -> Option<String> {
     match v.decode() {
         Decoded::Nan => Some("nan".to_string()),
-        Decoded::Infinite { negative } => {
-            Some(if negative { "-inf" } else { "inf" }.to_string())
-        }
+        Decoded::Infinite { negative } => Some(if negative { "-inf" } else { "inf" }.to_string()),
         _ => None,
     }
 }
@@ -40,9 +38,8 @@ pub fn format_e(v: f64, precision: u32) -> String {
         return format!("{sign}{}e+00", zero_body(precision));
     }
     let sf = SoftFloat::from_f64(mag).expect("positive finite");
-    let (digits, k) = with_thread_powers(10, |powers| {
-        simple_fixed_digits(&sf, precision + 1, powers)
-    });
+    let (digits, k) =
+        with_thread_powers(10, |powers| simple_fixed_digits(&sf, precision + 1, powers));
     let mut body = String::new();
     body.push((b'0' + digits[0]) as char);
     if precision > 0 {
@@ -165,8 +162,7 @@ pub fn format_g(v: f64, precision: u32) -> String {
         return format!("{sign}0");
     }
     let sf = SoftFloat::from_f64(mag).expect("positive finite");
-    let (mut digits, k) =
-        with_thread_powers(10, |powers| simple_fixed_digits(&sf, p, powers));
+    let (mut digits, k) = with_thread_powers(10, |powers| simple_fixed_digits(&sf, p, powers));
     // C: use %e iff exponent < -4 or exponent >= precision (exponent = k-1).
     let exp = k - 1;
     while digits.len() > 1 && digits.last() == Some(&0) {
@@ -185,7 +181,10 @@ pub fn format_g(v: f64, precision: u32) -> String {
         format!("{sign}{body}e{exp_sign}{:02}", exp.abs())
     } else {
         let d = fpp_core::Digits { digits, k };
-        format!("{sign}{}", fpp_core::render(&d, fpp_core::Notation::Positional))
+        format!(
+            "{sign}{}",
+            fpp_core::render(&d, fpp_core::Notation::Positional)
+        )
     }
 }
 
@@ -254,15 +253,21 @@ pub fn format_a(v: f64, precision: Option<u32>) -> String {
                 let carry = rounded; // 0 or 1
                 let lead2 = lead + carry as u8;
                 // carry past 1 -> 2..., and past 0xF impossible for lead<=1
-                return format!("{sign}0x{lead2:x}p{}{}",
-                    if exp2 < 0 { '-' } else { '+' }, exp2.abs());
+                return format!(
+                    "{sign}0x{lead2:x}p{}{}",
+                    if exp2 < 0 { '-' } else { '+' },
+                    exp2.abs()
+                );
             }
             if rounded >> (4 * p) != 0 {
                 // carried out of the fraction into the lead digit
                 let lead2 = lead + 1;
                 let body = "0".repeat(p as usize);
-                return format!("{sign}0x{lead2:x}.{body}p{}{}",
-                    if exp2 < 0 { '-' } else { '+' }, exp2.abs());
+                return format!(
+                    "{sign}0x{lead2:x}.{body}p{}{}",
+                    if exp2 < 0 { '-' } else { '+' },
+                    exp2.abs()
+                );
             }
             frac52 = rounded << (4 * (13 - p));
             p
@@ -330,26 +335,30 @@ impl std::error::Error for SpecError {}
 /// assert_eq!(format_spec("%.0A", f64::NAN).unwrap(), "NAN");
 /// ```
 pub fn format_spec(spec: &str, v: f64) -> Result<String, SpecError> {
-    let body = spec
-        .strip_prefix('%')
-        .ok_or(SpecError { reason: "missing %" })?;
+    let body = spec.strip_prefix('%').ok_or(SpecError {
+        reason: "missing %",
+    })?;
     let (precision, conv) = match body.strip_prefix('.') {
         None => (None, body),
         Some(rest) => {
-            let digits_end = rest
-                .find(|c: char| !c.is_ascii_digit())
-                .ok_or(SpecError { reason: "missing conversion letter" })?;
+            let digits_end = rest.find(|c: char| !c.is_ascii_digit()).ok_or(SpecError {
+                reason: "missing conversion letter",
+            })?;
             if digits_end == 0 {
-                return Err(SpecError { reason: "empty precision" });
+                return Err(SpecError {
+                    reason: "empty precision",
+                });
             }
-            let p: u32 = rest[..digits_end]
-                .parse()
-                .map_err(|_| SpecError { reason: "precision too large" })?;
+            let p: u32 = rest[..digits_end].parse().map_err(|_| SpecError {
+                reason: "precision too large",
+            })?;
             (Some(p), &rest[digits_end..])
         }
     };
     if conv.chars().count() != 1 {
-        return Err(SpecError { reason: "conversion must be one letter" });
+        return Err(SpecError {
+            reason: "conversion must be one letter",
+        });
     }
     let c = conv.chars().next().expect("one char");
     let lower = c.to_ascii_lowercase();
@@ -358,7 +367,11 @@ pub fn format_spec(spec: &str, v: f64) -> Result<String, SpecError> {
         'f' => format_f(v, precision.unwrap_or(6)),
         'g' => format_g(v, precision.unwrap_or(6)),
         'a' => format_a(v, precision),
-        _ => return Err(SpecError { reason: "unknown conversion letter" }),
+        _ => {
+            return Err(SpecError {
+                reason: "unknown conversion letter",
+            })
+        }
     };
     Ok(if c.is_ascii_uppercase() {
         out.to_ascii_uppercase()
@@ -390,15 +403,7 @@ mod tests {
     #[allow(clippy::approx_constant)] // 3.14159 is deliberate imprecise test data
     fn format_f_matches_rust_std() {
         for v in [
-            3.14159f64,
-            0.1,
-            2.5,
-            -2.5,
-            1234.9996,
-            0.0004,
-            -0.0004,
-            99.995,
-            0.0,
+            3.14159f64, 0.1, 2.5, -2.5, 1234.9996, 0.0004, -0.0004, 99.995, 0.0,
         ] {
             for p in [0u32, 1, 2, 3, 8] {
                 let ours = format_f(v, p);
@@ -458,7 +463,7 @@ mod tests {
         assert_eq!(format_a(x1_15, Some(1)), "0x1.1p+0"); // tie: .15 → even .1
         let x1_18 = 1.0 + 0x18 as f64 / 256.0; // 0x1.18p+0
         assert_eq!(format_a(x1_18, Some(1)), "0x1.2p+0"); // tie: .18 → even .2
-        // carry out of the fraction: 0x1.fffp+0 at 2 digits → 0x2.00p+0
+                                                          // carry out of the fraction: 0x1.fffp+0 at 2 digits → 0x2.00p+0
         let x1_fff = 1.0 + 0xfff as f64 / 4096.0;
         assert_eq!(format_a(x1_fff, Some(2)), "0x2.00p+0");
         // precision 0 rounds the lead digit

@@ -44,9 +44,7 @@ pub fn number_to_string(v: f64, radix: u32) -> String {
         Decoded::Infinite { negative } => {
             return if negative { "-inf.0" } else { "+inf.0" }.to_string()
         }
-        Decoded::Zero { negative } => {
-            return if negative { "-0.0" } else { "0.0" }.to_string()
-        }
+        Decoded::Zero { negative } => return if negative { "-0.0" } else { "0.0" }.to_string(),
         Decoded::Finite { .. } => {}
     }
     // Exponent notation exists only in radix 10; other radixes are always

@@ -1,0 +1,112 @@
+//! Regression proof of the zero-steady-state-allocation guarantee: after a
+//! warm-up pass has grown every recycled buffer in a [`fpp::DtoaContext`] to
+//! its high-water mark, converting the whole corpus again through the sink
+//! API performs **zero** heap allocations.
+//!
+//! The proof is a counting `#[global_allocator]` wrapped around the system
+//! allocator. The test lives alone in this integration binary so no
+//! concurrent test can allocate while the counted region runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fpp::{write_fixed, write_shortest, DtoaContext, SliceSink};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator (deallocations are free to remain untracked: an alloc-free
+/// region cannot free what it never obtained).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Normal, denormal and boundary doubles spanning the pipeline's paths:
+/// short and 17-digit outputs, positive/negative/huge/tiny exponents, the
+/// narrow-gap boundary case, powers of ten, and exact binary fractions.
+const CORPUS: &[f64] = &[
+    1.0,
+    0.1,
+    0.3,
+    1.0 / 3.0,
+    2.5,
+    9.97,
+    1e23,
+    6.02214076e23,
+    1e-300,
+    1e300,
+    123_456_789.123_456_79,
+    5e-324,                  // smallest denormal
+    2.2250738585072014e-308, // f64::MIN_POSITIVE (narrow-gap boundary)
+    1.7976931348623157e308,  // f64::MAX
+    0.0009765625,            // exact binary fraction 2^-10
+    -0.1,
+    -1e23,
+    10.0,
+    100.0,
+    1e10,
+    1e-10,
+    std::f64::consts::PI,
+];
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn sink_conversions_are_allocation_free_after_warm_up() {
+    let mut ctx = DtoaContext::new(10);
+    let mut buf = [0u8; 512];
+
+    // Warm-up: one pass over the corpus grows the power table, the Table 1
+    // registers, the scratch pool and the digit buffer to their high-water
+    // marks for these values.
+    for &v in CORPUS {
+        let mut sink = SliceSink::new(&mut buf);
+        write_shortest(&mut ctx, &mut sink, v);
+        let mut sink = SliceSink::new(&mut buf);
+        write_fixed(&mut ctx, &mut sink, v, 20);
+    }
+
+    // Measured pass: the same conversions must not touch the allocator.
+    let before = allocations();
+    let mut emitted = 0usize;
+    for &v in CORPUS {
+        let mut sink = SliceSink::new(&mut buf);
+        write_shortest(&mut ctx, &mut sink, v);
+        emitted += sink.written();
+        let mut sink = SliceSink::new(&mut buf);
+        write_fixed(&mut ctx, &mut sink, v, 20);
+        emitted += sink.written();
+    }
+    let after = allocations();
+
+    assert!(emitted > 0, "conversions produced output");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state conversions must not allocate"
+    );
+}

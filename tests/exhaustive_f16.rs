@@ -8,7 +8,7 @@
 //! all 2¹⁶ bit patterns with no sampling.
 
 use fpp::core::{FreeFormat, Notation};
-use fpp::float::{Bf16, Decoded, F16, FloatFormat, RoundingMode};
+use fpp::float::{Bf16, Decoded, FloatFormat, RoundingMode, F16};
 use fpp::reader::read_float;
 
 fn exhaustive_round_trip<F: FloatFormat + Copy>(make: fn(u16) -> F, bits_of: fn(F) -> u16) {
@@ -54,11 +54,7 @@ fn exhaustive_minimality<F: FloatFormat + Copy>(make: fn(u16) -> F, bits_of: fn(
         let trunc = &digits[..n - 1];
         let down = format!("0.{}e{}", trunc, exp_txt.parse::<i32>().unwrap() + 1);
         let down_v: F = read_float(&down, 10, RoundingMode::NearestEven).expect("well-formed");
-        assert_ne!(
-            bits_of(down_v),
-            bits,
-            "truncation of {s} still round-trips"
-        );
+        assert_ne!(bits_of(down_v), bits, "truncation of {s} still round-trips");
         let bumped: u64 = trunc.parse::<u64>().unwrap() + 1;
         let up = format!("0.{}e{}", bumped, exp_txt.parse::<i32>().unwrap() + 1);
         let up_v: F = read_float(&up, 10, RoundingMode::NearestEven).expect("well-formed");
@@ -101,7 +97,13 @@ fn f16_shortest_digit_statistics() {
             continue;
         }
         let s = fmt.format_float(F16::from_bits(bits));
-        let digits = s.split('e').next().unwrap().chars().filter(char::is_ascii_digit).count();
+        let digits = s
+            .split('e')
+            .next()
+            .unwrap()
+            .chars()
+            .filter(char::is_ascii_digit)
+            .count();
         max_len = max_len.max(digits);
     }
     assert_eq!(max_len, 5);

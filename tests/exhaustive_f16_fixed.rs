@@ -4,7 +4,7 @@
 
 use fpp::bignum::{Nat, PowerTable};
 use fpp::core::{fixed_digits_exact, fixed_format_digits_absolute, ScalingStrategy, TieBreak};
-use fpp::float::{Decoded, F16, FloatFormat, SoftFloat};
+use fpp::float::{Decoded, FloatFormat, SoftFloat, F16};
 
 fn soft_of(v: F16) -> Option<SoftFloat> {
     match v.decode() {
@@ -36,8 +36,13 @@ fn all_f16_fixed_format_matches_oracle() {
         };
         // Sample positions around each value's own magnitude plus fixed ones.
         for j in [-9i32, -4, 0, 2] {
-            let fast =
-                fixed_format_digits_absolute(&v, j, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
+            let fast = fixed_format_digits_absolute(
+                &v,
+                j,
+                ScalingStrategy::Estimate,
+                TieBreak::Up,
+                &mut powers,
+            );
             let slow = fixed_digits_exact(&v, 10, j, TieBreak::Up);
             assert_eq!(fast, slow, "bits {bits:#06x} position {j}");
         }

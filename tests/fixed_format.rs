@@ -58,7 +58,10 @@ fn output_is_within_the_governing_range() {
                 nb.m_minus.clone()
             };
             let bound = if req > float_bound { req } else { float_bound };
-            assert!(err <= bound, "{v} at position {j}: err {err} > bound {bound}");
+            assert!(
+                err <= bound,
+                "{v} at position {j}: err {err} > bound {bound}"
+            );
         }
     }
 }
@@ -183,8 +186,7 @@ fn strategies_agree_on_fixed_format() {
             ScalingStrategy::Estimate,
             ScalingStrategy::Gay,
         ] {
-            let got =
-                fixed_format_digits_absolute(&sf, -18, strategy, TieBreak::Up, &mut powers);
+            let got = fixed_format_digits_absolute(&sf, -18, strategy, TieBreak::Up, &mut powers);
             assert_eq!(got, reference, "{v} with {strategy:?}");
         }
     }
@@ -194,17 +196,25 @@ fn strategies_agree_on_fixed_format() {
 fn zero_rounding_cases() {
     let mut powers = PowerTable::new(10);
     let sf = SoftFloat::from_f64(0.4).unwrap();
-    let d = fixed_format_digits_absolute(&sf, 0, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
+    let d =
+        fixed_format_digits_absolute(&sf, 0, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
     assert!(d.is_zero());
     // 0.5 exactly: tie between 0 and 1 honours the tie rule.
     let sf = SoftFloat::from_f64(0.5).unwrap();
-    let up = fixed_format_digits_absolute(&sf, 0, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
+    let up =
+        fixed_format_digits_absolute(&sf, 0, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
     assert_eq!((up.digits.as_slice(), up.k), ([1].as_slice(), 1));
-    let down =
-        fixed_format_digits_absolute(&sf, 0, ScalingStrategy::Estimate, TieBreak::Down, &mut powers);
+    let down = fixed_format_digits_absolute(
+        &sf,
+        0,
+        ScalingStrategy::Estimate,
+        TieBreak::Down,
+        &mut powers,
+    );
     assert!(down.is_zero());
     // far below the position: clean zero
     let sf = SoftFloat::from_f64(1e-20).unwrap();
-    let d = fixed_format_digits_absolute(&sf, 0, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
+    let d =
+        fixed_format_digits_absolute(&sf, 0, ScalingStrategy::Estimate, TieBreak::Up, &mut powers);
     assert!(d.is_zero());
 }

@@ -2,11 +2,9 @@
 //! exact rational oracle, against the independent Steele–White baseline,
 //! and across all four scaling strategies.
 
-use fpp::bignum::PowerTable;
 use fpp::baseline::steele_white::steele_white_digits;
-use fpp::core::{
-    free_digits_exact, free_format_digits, Inclusivity, ScalingStrategy, TieBreak,
-};
+use fpp::bignum::PowerTable;
+use fpp::core::{free_digits_exact, free_format_digits, Inclusivity, ScalingStrategy, TieBreak};
 use fpp::float::{RoundingMode, SoftFloat};
 use fpp::testgen::{special_values, uniform_bit_doubles};
 

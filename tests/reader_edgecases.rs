@@ -27,7 +27,9 @@ fn zero_spellings() {
 #[test]
 fn enormous_exponents_on_zero_and_nonzero() {
     assert_eq!(read_f64("0e999999999999999999999999").unwrap(), 0.0);
-    assert!(read_f64("1e999999999999999999999999").unwrap().is_infinite());
+    assert!(read_f64("1e999999999999999999999999")
+        .unwrap()
+        .is_infinite());
     assert_eq!(read_f64("1e-999999999999999999999999").unwrap(), 0.0);
 }
 
@@ -69,8 +71,8 @@ fn hash_marks_interact_with_exponents() {
 #[test]
 fn rejected_forms() {
     for bad in [
-        "", " ", "1 ", " 1", "+", "-", ".", "e", "1e", "1e+", "1e-", "0x1",
-        "1.2e3.4", "..1", "1..", "--1", "++1", "1_000", "NaN%",
+        "", " ", "1 ", " 1", "+", "-", ".", "e", "1e", "1e+", "1e-", "0x1", "1.2e3.4", "..1",
+        "1..", "--1", "++1", "1_000", "NaN%",
     ] {
         assert!(read_f64(bad).is_err(), "{bad:?} should be rejected");
     }

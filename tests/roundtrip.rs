@@ -73,8 +73,7 @@ fn all_bases_round_trip_through_own_reader() {
             .chain(uniform_bit_doubles(base).take(300))
         {
             let s = fmt.format(v);
-            let back: f64 =
-                read_float(&s, base, RoundingMode::NearestEven).expect("well-formed");
+            let back: f64 = read_float(&s, base, RoundingMode::NearestEven).expect("well-formed");
             assert_eq!(back.to_bits(), v.to_bits(), "base {base}: {s}");
         }
     }
@@ -147,5 +146,8 @@ fn specials_and_zeros() {
     assert_eq!(fpp::print_shortest(f64::NAN), "NaN");
     assert!(fpp::reader::read_f64("inf").unwrap().is_infinite());
     assert!(fpp::reader::read_f64("NaN").unwrap().is_nan());
-    assert_eq!(fpp::reader::read_f64("-0").unwrap().to_bits(), (-0.0f64).to_bits());
+    assert_eq!(
+        fpp::reader::read_f64("-0").unwrap().to_bits(),
+        (-0.0f64).to_bits()
+    );
 }

@@ -20,8 +20,7 @@ fn enumerate_format(fmt: &SoftFormat) -> Vec<SoftFloat> {
         };
         while f < hi {
             out.push(
-                SoftFloat::new(f.clone(), e, fmt.base, fmt.precision, fmt.min_exp)
-                    .expect("valid"),
+                SoftFloat::new(f.clone(), e, fmt.base, fmt.precision, fmt.min_exp).expect("valid"),
             );
             f += &Nat::one();
         }
@@ -32,7 +31,13 @@ fn enumerate_format(fmt: &SoftFormat) -> Vec<SoftFloat> {
 fn round_trip_format(fmt: SoftFormat, literal_base: u64, mode: RoundingMode) {
     let mut powers = PowerTable::new(literal_base);
     for v in enumerate_format(&fmt) {
-        let digits = free_format_digits(&v, ScalingStrategy::Estimate, mode, TieBreak::Up, &mut powers);
+        let digits = free_format_digits(
+            &v,
+            ScalingStrategy::Estimate,
+            mode,
+            TieBreak::Up,
+            &mut powers,
+        );
         let s = render_in_base(&digits, Notation::Scientific, literal_base);
         let (negative, result) =
             read_soft(&s, literal_base, mode, &fmt).expect("well-formed output");

@@ -2,9 +2,7 @@
 //! rendering options.
 
 use fpp::bignum::PowerTable;
-use fpp::core::{
-    DigitStream, ExponentStyle, FixedFormat, FreeFormat, Notation, RenderOptions,
-};
+use fpp::core::{DigitStream, ExponentStyle, FixedFormat, FreeFormat, Notation, RenderOptions};
 use fpp::float::{RoundingMode, SoftFloat};
 
 #[test]
@@ -22,8 +20,7 @@ fn stream_prefix_is_a_correct_truncation() {
         // except that free format's FINAL digit may be rounded up rather
         // than truncated — so compare all but the last streamed digit
         // exactly and allow the last to sit within +1.
-        let (expansion, _) =
-            fpp::baseline::simple_fixed::simple_fixed_digits(&sf, 9, &mut powers);
+        let (expansion, _) = fpp::baseline::simple_fixed::simple_fixed_digits(&sf, 9, &mut powers);
         let n = streamed.len();
         assert!(n >= 1);
         assert_eq!(streamed[..n - 1], expansion[..n - 1], "{v}");

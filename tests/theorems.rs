@@ -69,9 +69,7 @@ fn theorem_3_information_preservation() {
             );
             let out = digits_to_rat(&d, 10);
             let (low_ok, high_ok) = match mode {
-                RoundingMode::NearestEven => {
-                    (sf.mantissa_is_even(), sf.mantissa_is_even())
-                }
+                RoundingMode::NearestEven => (sf.mantissa_is_even(), sf.mantissa_is_even()),
                 RoundingMode::NearestAwayFromZero => (true, false),
                 RoundingMode::NearestTowardZero => (false, true),
                 _ => (false, false),
@@ -124,8 +122,15 @@ fn theorem_4_correct_rounding() {
             } else {
                 &out + &unit
             };
-            let in_range = (if even { other >= nb.low } else { other > nb.low })
-                && (if even { other <= nb.high } else { other < nb.high });
+            let in_range = (if even {
+                other >= nb.low
+            } else {
+                other > nb.low
+            }) && (if even {
+                other <= nb.high
+            } else {
+                other < nb.high
+            });
             assert!(!in_range, "{v}: closer same-length alternative existed");
         }
     }
