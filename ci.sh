@@ -19,4 +19,16 @@ cargo test --workspace -q
 echo "== allocation regression (release) =="
 cargo test --release -q --test alloc_count
 
+echo "== batch parity (release) =="
+cargo test --release -q --test batch_parity
+
+echo "== batch throughput smoke + BENCH_batch.json schema =="
+cargo run -p fpp-bench --release --bin throughput -- --quick
+for key in bench schema_version threads element_count workloads floats_per_sec \
+           mb_per_sec memo_hit_rate summary scalar_floats_per_sec \
+           sharded_floats_per_sec sharded_vs_scalar parity_checked; do
+  grep -q "\"$key\"" BENCH_batch.json \
+    || { echo "BENCH_batch.json missing key: $key"; exit 1; }
+done
+
 echo "CI OK"

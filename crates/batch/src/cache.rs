@@ -1,0 +1,187 @@
+//! The repeat-value digit memo: a fixed-size, direct-mapped cache keyed on
+//! the float's bit pattern.
+//!
+//! Real columnar workloads (telemetry, quantized sensor readings, sparse
+//! matrices full of zeros) repeat a small set of distinct values millions of
+//! times. One full Burger–Dybvig conversion costs microseconds of
+//! big-integer work; copying its remembered text costs nanoseconds. The memo
+//! trades a fixed block of memory (no per-entry allocation, ever) for
+//! short-circuiting those repeats: lookup hashes the value's bits to a slot,
+//! a hit copies the stored bytes, a miss runs the real pipeline and
+//! overwrites the slot (last-writer-wins eviction, no LRU bookkeeping).
+//!
+//! Keying on the *bit pattern* — not the float's numeric value — keeps the
+//! memo exact: `0.0` and `-0.0` occupy different keys, and every NaN payload
+//! maps to its own key (all of which store `"NaN"`). A hit therefore
+//! reproduces the pipeline's bytes for those bits, byte for byte.
+
+/// Longest text the memo stores. The shortest form of an `f64` in base 10
+/// is at most 25 bytes (sign + positional `0.00000` + 17 significant
+/// digits, e.g. `-0.0000012345678901234567`); 28 leaves headroom and keeps
+/// the entry a comfortable size. Longer texts (other bases, deep fixed
+/// formats) simply bypass the memo.
+pub(crate) const MEMO_SLOT_BYTES: usize = 28;
+
+/// Sentinel length marking a never-written slot.
+const EMPTY: u8 = u8::MAX;
+
+/// One direct-mapped slot: the owning bit pattern and its rendered text.
+#[derive(Debug, Clone)]
+struct Slot {
+    key: u64,
+    len: u8,
+    text: [u8; MEMO_SLOT_BYTES],
+}
+
+impl Slot {
+    const VACANT: Slot = Slot {
+        key: 0,
+        len: EMPTY,
+        text: [0; MEMO_SLOT_BYTES],
+    };
+}
+
+/// Hit/miss counters for one memo (see [`DigitMemo::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that fell through to the conversion pipeline.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Hit fraction in `[0, 1]` (`0` when no lookups have happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Combines counters from several memos (e.g. one per shard).
+    #[must_use]
+    pub fn merged(self, other: MemoStats) -> MemoStats {
+        MemoStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// A direct-mapped last-writer-wins memo of rendered floats, keyed on bits.
+///
+/// All storage is one boxed slab allocated at construction; lookups and
+/// inserts never touch the allocator.
+#[derive(Debug, Clone)]
+pub(crate) struct DigitMemo {
+    /// Slot-index mask (`slots.len() - 1`; slot count is a power of two).
+    mask: u64,
+    slots: Box<[Slot]>,
+    stats: MemoStats,
+}
+
+/// Fibonacci multiplicative hash spreading bit-pattern keys over slots:
+/// neighbouring doubles differ only in low mantissa bits, which a plain
+/// mask would pile into adjacent slots of one cache line's worth of keys.
+fn spread(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
+impl DigitMemo {
+    /// Creates a memo with `capacity` slots, rounded up to a power of two.
+    /// `capacity == 0` disables the memo (every lookup misses, inserts are
+    /// dropped) without a separate code path in the formatter loop.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let slots = capacity.next_power_of_two().min(1 << 24);
+        let slots = if capacity == 0 { 0 } else { slots };
+        DigitMemo {
+            mask: slots.saturating_sub(1) as u64,
+            slots: vec![Slot::VACANT; slots].into_boxed_slice(),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Returns the remembered text for `key`, if its slot holds that key.
+    pub(crate) fn lookup(&mut self, key: u64) -> Option<&[u8]> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let slot = &self.slots[(spread(key) & self.mask) as usize];
+        if slot.len != EMPTY && slot.key == key {
+            self.stats.hits += 1;
+            Some(&slot.text[..slot.len as usize])
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Remembers `text` for `key`, evicting whatever held the slot. Texts
+    /// longer than [`MEMO_SLOT_BYTES`] are skipped (they stay convert-only).
+    pub(crate) fn insert(&mut self, key: u64, text: &[u8]) {
+        if self.slots.is_empty() || text.len() > MEMO_SLOT_BYTES {
+            return;
+        }
+        let slot = &mut self.slots[(spread(key) & self.mask) as usize];
+        slot.key = key;
+        slot.len = text.len() as u8;
+        slot.text[..text.len()].copy_from_slice(text);
+    }
+
+    /// Hit/miss counters since construction.
+    pub(crate) fn stats(&self) -> MemoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_round_trips_text() {
+        let mut memo = DigitMemo::new(64);
+        assert_eq!(memo.lookup(42), None);
+        memo.insert(42, b"0.5");
+        assert_eq!(memo.lookup(42), Some(&b"0.5"[..]));
+        assert_eq!(memo.stats(), MemoStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn colliding_keys_evict_last_writer_wins() {
+        // Capacity 1: every key shares the single slot.
+        let mut memo = DigitMemo::new(1);
+        memo.insert(1, b"one");
+        memo.insert(2, b"two");
+        assert_eq!(memo.lookup(1), None, "evicted by key 2");
+        assert_eq!(memo.lookup(2), Some(&b"two"[..]));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut memo = DigitMemo::new(0);
+        memo.insert(7, b"x");
+        assert_eq!(memo.lookup(7), None);
+    }
+
+    #[test]
+    fn oversized_text_is_skipped() {
+        let mut memo = DigitMemo::new(8);
+        let long = [b'9'; MEMO_SLOT_BYTES + 1];
+        memo.insert(3, &long);
+        assert_eq!(memo.lookup(3), None);
+    }
+
+    #[test]
+    fn hit_rate_tracks_counters() {
+        let mut memo = DigitMemo::new(8);
+        memo.insert(1, b"a");
+        let _ = memo.lookup(1);
+        let _ = memo.lookup(2);
+        assert!((memo.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -63,6 +63,27 @@ impl DtoaContext {
     pub fn powers(&mut self) -> &mut PowerTable {
         &mut self.powers
     }
+
+    /// Grows every recycled buffer to its `f64` free-format high-water mark
+    /// by converting a handful of extreme values, so the *first* real
+    /// conversion through this context already allocates nothing. Batch
+    /// engines call this once per shard context at construction; without it
+    /// the warm-up cost lands inside the first timed batch instead.
+    pub fn warm_up(&mut self) -> &mut Self {
+        let format = crate::FreeFormat::new().base(self.base());
+        let mut buf = [0u8; 96];
+        for v in [
+            f64::MAX,          // largest exponent: deepest positive powers
+            5e-324,            // smallest denormal: deepest negative powers
+            f64::MIN_POSITIVE, // the narrow-gap boundary case
+            1.0 / 3.0,         // a full 17-significant-digit output
+            6.02214076e23,     // scientific layout with a long mantissa
+        ] {
+            let mut sink = crate::SliceSink::new(&mut buf);
+            format.write_to(self, &mut sink, v);
+        }
+        self
+    }
 }
 
 /// Recycled buffers for one conversion pipeline.
@@ -109,5 +130,14 @@ mod tests {
     #[should_panic(expected = "output base must be in 2..=36")]
     fn rejects_bad_base() {
         let _ = DtoaContext::new(1);
+    }
+
+    #[test]
+    fn warm_up_leaves_context_usable() {
+        let mut ctx = DtoaContext::new(10);
+        ctx.warm_up().warm_up(); // idempotent
+        let mut out = Vec::new();
+        crate::write_shortest(&mut ctx, &mut out, 0.3);
+        assert_eq!(out, b"0.3");
     }
 }

@@ -85,7 +85,7 @@ pub use scale::{
     estimate_k, initial_state, EstimateScaler, GayScaler, InitialState, IterativeScaler, LogScaler,
     ScaledState, Scaler, ScalingStrategy,
 };
-pub use sink::{DigitSink, FmtSink, SliceSink};
+pub use sink::{DigitSink, FmtSink, IoSink, SliceSink};
 pub use stream::DigitStream;
 
 use fpp_bignum::PowerTable;
@@ -137,6 +137,23 @@ pub fn with_thread_powers<R>(base: u64, f: impl FnOnce(&mut PowerTable) -> R) ->
 /// assert_eq!(sink.as_str(), "1e23");
 /// ```
 pub fn write_shortest(ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: f64) {
+    FreeFormat::new().base(ctx.base()).write_to(ctx, sink, v);
+}
+
+/// Writes the shortest round-tripping base-`B` form of an `f32` into `sink`
+/// using `ctx`'s base and recycled buffers, with `f32` boundaries (`0.1f32`
+/// prints as `0.1`). The `f32` counterpart of [`write_shortest`], provided
+/// so bulk engines can drive both widths through one borrowed context.
+///
+/// ```
+/// use fpp_core::{write_shortest_f32, DtoaContext, SliceSink};
+/// let mut ctx = DtoaContext::new(10);
+/// let mut buf = [0u8; 32];
+/// let mut sink = SliceSink::new(&mut buf);
+/// write_shortest_f32(&mut ctx, &mut sink, 0.1f32);
+/// assert_eq!(sink.as_str(), "0.1");
+/// ```
+pub fn write_shortest_f32(ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: f32) {
     FreeFormat::new().base(ctx.base()).write_to(ctx, sink, v);
 }
 

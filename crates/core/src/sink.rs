@@ -155,6 +155,64 @@ impl<W: std::fmt::Write> FmtSink<W> {
     }
 }
 
+/// Adapts a [`std::io::Write`] (a file, socket, `BufWriter`, or
+/// [`std::io::sink`]) as a [`DigitSink`] — the export path of the batch
+/// serializers. Like [`FmtSink`], write errors are latched and reported by
+/// [`finish`](IoSink::finish) rather than unwinding mid-render; after an
+/// error, further output is discarded.
+///
+/// Wrap files in a [`std::io::BufWriter`]: the renderer pushes bytes one at
+/// a time.
+///
+/// ```
+/// use fpp_core::{write_shortest, DtoaContext, IoSink};
+/// let mut ctx = DtoaContext::new(10);
+/// let mut sink = IoSink::new(Vec::new());
+/// write_shortest(&mut ctx, &mut sink, 0.3);
+/// assert_eq!(sink.finish().unwrap(), b"0.3");
+/// ```
+#[derive(Debug)]
+pub struct IoSink<W: std::io::Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> IoSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        IoSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Returns the writer, or the first write error if any output was lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`std::io::Error`] the writer reported.
+    pub fn finish(self) -> Result<W, std::io::Error> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.writer),
+        }
+    }
+}
+
+impl<W: std::io::Write> DigitSink for IoSink<W> {
+    fn push(&mut self, byte: u8) {
+        self.push_slice(&[byte]);
+    }
+
+    fn push_slice(&mut self, bytes: &[u8]) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.write_all(bytes) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
 impl<W: std::fmt::Write> DigitSink for FmtSink<W> {
     fn push(&mut self, byte: u8) {
         if self.error.is_none() {
@@ -206,6 +264,28 @@ mod tests {
         let mut buf = [0u8; 2];
         let mut sink = SliceSink::new(&mut buf);
         sink.push_slice(b"123");
+    }
+
+    #[test]
+    fn io_sink_writes_through_and_latches_errors() {
+        let mut sink = IoSink::new(Vec::new());
+        sink.push(b'4');
+        sink.push_slice(b"2.5");
+        assert_eq!(sink.finish().unwrap(), b"42.5");
+
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = IoSink::new(Broken);
+        sink.push(b'x');
+        sink.push(b'y'); // discarded after the latched error
+        assert!(sink.finish().is_err());
     }
 
     #[test]

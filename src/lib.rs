@@ -45,6 +45,28 @@
 //! write_shortest(&mut ctx, &mut sink, 0.3);
 //! assert_eq!(sink.as_str(), "0.3");
 //! ```
+//!
+//! # Batch conversion
+//!
+//! For whole columns of floats — CSV/JSON export, telemetry dumps — the
+//! [`batch`] engine converts slices into one contiguous arena with an
+//! offsets table, reusing a warm context per shard and short-circuiting
+//! repeated values through a digit memo. Output is byte-identical to
+//! [`print_shortest`] per value:
+//!
+//! ```
+//! use fpp::{BatchFormatter, BatchOutput};
+//! let column = [0.1, 1e23, 0.1, f64::NAN];
+//! let mut fmt = BatchFormatter::new();
+//! let mut out = BatchOutput::new();
+//! fmt.format_f64s(&column, &mut out); // or format_f64s_sharded
+//! assert_eq!(out.iter().collect::<Vec<_>>(), ["0.1", "1e23", "0.1", "NaN"]);
+//!
+//! // Stream a column straight to CSV through any DigitSink:
+//! let mut csv = Vec::new();
+//! fmt.write_csv(&[("v", &column[..2])], &mut csv);
+//! assert_eq!(csv, b"v\n0.1\n1e23\n");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,13 +75,15 @@ pub mod printf;
 pub mod scheme;
 
 pub use fpp_baseline as baseline;
+pub use fpp_batch as batch;
 pub use fpp_bignum as bignum;
 pub use fpp_core as core;
 pub use fpp_float as float;
 pub use fpp_reader as reader;
 pub use fpp_testgen as testgen;
 
+pub use fpp_batch::{BatchFormatter, BatchOptions, BatchOutput};
 pub use fpp_core::{
-    print_shortest, print_shortest_base, write_fixed, write_shortest, DigitSink, DtoaContext,
-    FixedFormat, FmtSink, FreeFormat, SliceSink,
+    print_shortest, print_shortest_base, write_fixed, write_shortest, write_shortest_f32,
+    DigitSink, DtoaContext, FixedFormat, FmtSink, FreeFormat, IoSink, SliceSink,
 };

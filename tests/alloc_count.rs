@@ -10,6 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fpp::batch::{BatchFormatter, BatchOutput};
 use fpp::{write_fixed, write_shortest, DtoaContext, SliceSink};
 
 /// Counts every allocation and reallocation routed through the global
@@ -108,5 +109,43 @@ fn sink_conversions_are_allocation_free_after_warm_up() {
         after - before,
         0,
         "steady-state conversions must not allocate"
+    );
+
+    // The batch engine inherits the guarantee: once a formatter and its
+    // output have seen one batch of this shape, re-running the batch — the
+    // memoised serial path and the CSV/JSON serializer frontends alike —
+    // must not touch the allocator. (The sharded path is exempt: spawning
+    // scoped threads allocates; its per-shard conversion state is the same
+    // recycled machinery proven here.)
+    let mut formatter = BatchFormatter::new();
+    let mut out = BatchOutput::new();
+    let corpus32: Vec<f32> = CORPUS.iter().map(|&v| v as f32).collect();
+    let mut csv_buf = [0u8; 2048];
+    formatter.format_f64s(CORPUS, &mut out);
+    formatter.format_f32s(&corpus32, &mut out);
+    {
+        let mut sink = SliceSink::new(&mut csv_buf);
+        formatter.write_csv(&[("v", CORPUS)], &mut sink);
+        let mut sink = SliceSink::new(&mut csv_buf);
+        formatter.write_json_lines(CORPUS, &mut sink);
+    }
+
+    let before = allocations();
+    formatter.format_f64s(CORPUS, &mut out);
+    assert_eq!(out.len(), CORPUS.len());
+    formatter.format_f32s(&corpus32, &mut out);
+    assert_eq!(out.len(), corpus32.len());
+    let mut sink = SliceSink::new(&mut csv_buf);
+    formatter.write_csv(&[("v", CORPUS)], &mut sink);
+    assert!(sink.written() > 0);
+    let mut sink = SliceSink::new(&mut csv_buf);
+    formatter.write_json_lines(CORPUS, &mut sink);
+    assert!(sink.written() > 0);
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "warmed batch formatting must not allocate"
     );
 }
