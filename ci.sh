@@ -31,4 +31,29 @@ for key in bench schema_version threads element_count workloads floats_per_sec \
     || { echo "BENCH_batch.json missing key: $key"; exit 1; }
 done
 
+echo "== telemetry build + tests (--features telemetry) =="
+# The instrumented configuration is a separate feature unification: build it,
+# run the whole suite under it (including the exact-count tests/telemetry.rs
+# target, which only exists with the feature on), and run the telemetry
+# crate's own disabled-mode tests explicitly.
+cargo build --workspace --release --features telemetry
+cargo test --workspace -q --features telemetry
+cargo test -q -p fpp-telemetry
+
+echo "== telemetry-off zero-cost guard (release) =="
+# With the feature off every record_* call compiles to a no-op: the counting
+# allocator must see zero steady-state allocations, same as the seed.
+cargo test --release -q --test alloc_count
+
+echo "== live stats smoke + BENCH_telemetry.json schema =="
+cargo run -p fpp-bench --release --features telemetry --bin stats_live -- --quick
+for key in bench schema_version quick telemetry_enabled threads element_count \
+           distinct_values digit_len_hist digit_len_offline histogram_match \
+           mean_digits fixup_rate scale_violations term memo scratch sharded; do
+  grep -q "\"$key\"" BENCH_telemetry.json \
+    || { echo "BENCH_telemetry.json missing key: $key"; exit 1; }
+done
+grep -q '"histogram_match": true' BENCH_telemetry.json \
+  || { echo "live digit histogram diverged from offline recount"; exit 1; }
+
 echo "CI OK"

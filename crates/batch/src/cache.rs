@@ -41,13 +41,17 @@ impl Slot {
     };
 }
 
-/// Hit/miss counters for one memo (see [`DigitMemo::stats`]).
+/// Hit/miss/eviction counters for one memo (see [`DigitMemo::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Lookups answered from the memo.
     pub hits: u64,
     /// Lookups that fell through to the conversion pipeline.
     pub misses: u64,
+    /// Inserts that overwrote a live entry holding a *different* key — the
+    /// direct-mapped collision cost. High eviction counts with low hit
+    /// rates say the working set outsizes the memo.
+    pub evictions: u64,
 }
 
 impl MemoStats {
@@ -68,6 +72,7 @@ impl MemoStats {
         MemoStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
         }
     }
 }
@@ -113,9 +118,11 @@ impl DigitMemo {
         let slot = &self.slots[(spread(key) & self.mask) as usize];
         if slot.len != EMPTY && slot.key == key {
             self.stats.hits += 1;
+            fpp_telemetry::record_memo_lookup(true);
             Some(&slot.text[..slot.len as usize])
         } else {
             self.stats.misses += 1;
+            fpp_telemetry::record_memo_lookup(false);
             None
         }
     }
@@ -127,6 +134,10 @@ impl DigitMemo {
             return;
         }
         let slot = &mut self.slots[(spread(key) & self.mask) as usize];
+        if slot.len != EMPTY && slot.key != key {
+            self.stats.evictions += 1;
+            fpp_telemetry::record_memo_eviction();
+        }
         slot.key = key;
         slot.len = text.len() as u8;
         slot.text[..text.len()].copy_from_slice(text);
@@ -148,7 +159,14 @@ mod tests {
         assert_eq!(memo.lookup(42), None);
         memo.insert(42, b"0.5");
         assert_eq!(memo.lookup(42), Some(&b"0.5"[..]));
-        assert_eq!(memo.stats(), MemoStats { hits: 1, misses: 1 });
+        assert_eq!(
+            memo.stats(),
+            MemoStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -159,6 +177,10 @@ mod tests {
         memo.insert(2, b"two");
         assert_eq!(memo.lookup(1), None, "evicted by key 2");
         assert_eq!(memo.lookup(2), Some(&b"two"[..]));
+        assert_eq!(memo.stats().evictions, 1, "key 2 evicted key 1");
+        // Overwriting a slot with its own key is a refresh, not an eviction.
+        memo.insert(2, b"TWO");
+        assert_eq!(memo.stats().evictions, 1);
     }
 
     #[test]

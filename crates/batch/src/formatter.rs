@@ -105,6 +105,7 @@ impl BatchFormatter {
     /// thread. Steady-state allocation-free once the formatter and `out`
     /// have seen a batch of this size.
     pub fn format_f64s(&mut self, values: &[f64], out: &mut BatchOutput) {
+        fpp_telemetry::record_serial_batch();
         format_slice(
             &self.format,
             &mut self.ctx,
@@ -119,6 +120,7 @@ impl BatchFormatter {
     /// boundaries: `0.1f32` prints as `0.1`, not the 17-digit expansion of
     /// its exact value.
     pub fn format_f32s(&mut self, values: &[f32], out: &mut BatchOutput) {
+        fpp_telemetry::record_serial_batch();
         format_slice(
             &self.format,
             &mut self.ctx,
@@ -282,16 +284,27 @@ mod parallel {
             while self.workers.len() < used {
                 self.workers.push(ShardWorker::new(self.opts.memo_capacity));
             }
+            fpp_telemetry::record_sharded_batch(used);
             let format = &self.format;
             let workers = &mut self.workers[..used];
             if used == 1 {
                 // One shard: run inline, skipping thread spawn entirely.
+                fpp_telemetry::record_shard(values.len());
                 run(&mut workers[0], format, values);
             } else {
                 std::thread::scope(|scope| {
                     for (worker, chunk) in workers.iter_mut().zip(values.chunks(chunk_len)) {
                         let run = &run;
-                        scope.spawn(move || run(worker, format, chunk));
+                        scope.spawn(move || {
+                            // Each worker reports into its own thread-local
+                            // telemetry block; the explicit flush drains it
+                            // into the global aggregate before the scope
+                            // unblocks (TLS destructors alone can race the
+                            // scope exit).
+                            fpp_telemetry::record_shard(chunk.len());
+                            run(worker, format, chunk);
+                            fpp_telemetry::flush_thread();
+                        });
                     }
                 });
             }
@@ -299,6 +312,7 @@ mod parallel {
             for worker in self.workers[..used].iter() {
                 out.append_shifted(&worker.out);
             }
+            fpp_telemetry::record_stitch_bytes(out.total_bytes());
         }
     }
 }

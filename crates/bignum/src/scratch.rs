@@ -50,6 +50,7 @@ impl Scratch {
             .enumerate()
             .max_by_key(|(_, n)| n.limb_capacity())
             .map(|(i, _)| i);
+        fpp_telemetry::record_scratch_take(best.is_some());
         match best {
             Some(i) => self.pool.swap_remove(i),
             None => Nat::default(),
@@ -60,6 +61,9 @@ impl Scratch {
     /// buffer.
     pub fn put(&mut self, mut n: Nat) {
         n.set_zero();
+        if fpp_telemetry::ENABLED {
+            fpp_telemetry::record_scratch_put(self.pool.len() + 1, n.limb_capacity());
+        }
         self.pool.push(n);
     }
 

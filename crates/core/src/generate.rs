@@ -85,9 +85,16 @@ pub(crate) fn generate_into(
     sum: &mut Nat,
 ) {
     debug_assert!((2..=36).contains(&base));
-    loop {
-        let d = state.r.div_rem_step(&state.s) as u8;
+    let start = digits.len();
+    let term = loop {
+        let q = state.r.div_rem_step(&state.s);
+        let d = q as u8;
         debug_assert!((d as u64) < base, "digit out of range");
+        if fpp_telemetry::ENABLED && digits.len() == start && q >= base {
+            // First quotient ≥ B: the scaling estimate undershot by more
+            // than one, breaking the §3.2 contract (Theorem 1 is void).
+            fpp_telemetry::record_scale_violation();
+        }
         let tc1 = if inc.low_ok {
             state.r <= state.m_minus
         } else {
@@ -109,14 +116,14 @@ pub(crate) fn generate_into(
             (true, false) => {
                 digits.push(d);
                 state.r.assign(sum); // r ← r + m⁺
-                return;
+                break fpp_telemetry::Termination::Low;
             }
             (false, true) => {
                 digits.push(d + 1);
                 debug_assert!(((d + 1) as u64) < base, "increment carried (Theorem 1)");
                 state.r.assign(sum);
                 state.r -= &state.s; // r ← r + m⁺ − s
-                return;
+                break fpp_telemetry::Termination::High;
             }
             (true, true) => {
                 // Both candidates read back as v; pick the closer
@@ -134,8 +141,18 @@ pub(crate) fn generate_into(
                 } else {
                     digits.push(d);
                 }
-                return;
+                break fpp_telemetry::Termination::Tie {
+                    rounded_up: round_up,
+                };
             }
+        }
+    };
+    if fpp_telemetry::ENABLED {
+        fpp_telemetry::record_generation(digits.len() - start, term);
+        if digits[start] == 0 {
+            // A leading zero that was never incremented away means the
+            // scaling estimate overshot — the other §3.2 violation.
+            fpp_telemetry::record_scale_violation();
         }
     }
 }

@@ -186,6 +186,7 @@ fn apply_estimate_in(
     let mut sum = scratch.take();
     let low = too_low(state, &mut sum, high_ok);
     scratch.put(sum);
+    fpp_telemetry::record_scale(low);
     if low {
         // Estimate was one low: k = est + 1, and r/s already equals
         // v/B^(k-1). No corrective multiplication needed.

@@ -49,6 +49,7 @@ pub fn decimal_to_float<F: FloatFormat>(lit: &Literal, base: u64, rounding: Roun
     {
         if let Ok(d) = u64::try_from(&parts.digits) {
             if let Some(v) = fast_path(d, parts.exponent) {
+                fpp_telemetry::record_read(true);
                 return if parts.negative {
                     encode_from_f64::<F>(v, true)
                 } else {
@@ -57,6 +58,7 @@ pub fn decimal_to_float<F: FloatFormat>(lit: &Literal, base: u64, rounding: Roun
             }
         }
     }
+    fpp_telemetry::record_read(false);
     convert_exact::<F>(parts, base, rounding)
 }
 

@@ -14,6 +14,7 @@
 //! * [`reader`] — accurate (correctly rounded) decimal→binary reading.
 //! * [`baseline`] — the comparison printers from the paper's evaluation.
 //! * [`testgen`] — Schryer-style workload generators.
+//! * [`telemetry`] — zero-overhead instrumentation of the whole pipeline.
 //!
 //! # Quick start
 //!
@@ -67,6 +68,19 @@
 //! fmt.write_csv(&[("v", &column[..2])], &mut csv);
 //! assert_eq!(csv, b"v\n0.1\n1e23\n");
 //! ```
+//!
+//! # Observability
+//!
+//! Built with `--features telemetry`, the pipeline counts everything it
+//! does — digits per conversion, §3.2 scale fixups, memo hits, scratch-pool
+//! pressure — into lock-free process-wide counters. Without the feature
+//! every probe compiles to nothing:
+//!
+//! ```
+//! let snap = fpp::telemetry::TelemetrySnapshot::capture();
+//! println!("{}", snap.to_prometheus()); // or snap.to_json()
+//! assert_eq!(snap.fixup_rate(), 0.0);   // zeros unless telemetry is on
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,6 +94,7 @@ pub use fpp_bignum as bignum;
 pub use fpp_core as core;
 pub use fpp_float as float;
 pub use fpp_reader as reader;
+pub use fpp_telemetry as telemetry;
 pub use fpp_testgen as testgen;
 
 pub use fpp_batch::{BatchFormatter, BatchOptions, BatchOutput};

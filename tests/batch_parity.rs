@@ -126,6 +126,14 @@ fn duplicate_heavy_columns_survive_forced_memo_collisions() {
     assert_parity(&values, &out, "collision-heavy memo");
     let stats = fmt.memo_stats();
     assert!(stats.hits > 0, "memo saw hits: {stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "forced collisions must report evictions: {stats:?}"
+    );
+    assert!(
+        stats.evictions <= stats.misses,
+        "every eviction follows a missed lookup: {stats:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,138 @@
+//! `IoSink` error propagation through the batch serializer frontends: a
+//! failing `std::io::Write` must surface as an `Err` from `finish()` — no
+//! panic mid-render, no silently truncated output passed off as success.
+
+use fpp::batch::BatchFormatter;
+use fpp::IoSink;
+use std::cell::RefCell;
+use std::io;
+use std::rc::Rc;
+
+/// A writer that accepts `limit` bytes and then fails every write — a
+/// disk-full / broken-pipe stand-in with a controllable failure point. The
+/// byte log is shared so tests can inspect what landed even after the sink
+/// consumed the writer reporting an error.
+#[derive(Debug)]
+struct FailAfter {
+    written: Rc<RefCell<Vec<u8>>>,
+    limit: usize,
+}
+
+impl FailAfter {
+    fn new(limit: usize) -> (Self, Rc<RefCell<Vec<u8>>>) {
+        let written = Rc::new(RefCell::new(Vec::new()));
+        (
+            FailAfter {
+                written: Rc::clone(&written),
+                limit,
+            },
+            written,
+        )
+    }
+}
+
+impl io::Write for FailAfter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut written = self.written.borrow_mut();
+        if written.len() + buf.len() > self.limit {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+        }
+        written.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+const COLUMN: [f64; 6] = [0.1, 1e23, f64::NAN, -0.0, 5e-324, f64::INFINITY];
+
+fn expected_csv(fmt: &mut BatchFormatter) -> Vec<u8> {
+    let mut sink = IoSink::new(Vec::new());
+    fmt.write_csv(&[("v", &COLUMN[..])], &mut sink);
+    sink.finish().expect("Vec never fails")
+}
+
+fn expected_json_lines(fmt: &mut BatchFormatter) -> Vec<u8> {
+    let mut sink = IoSink::new(Vec::new());
+    fmt.write_json_lines(&COLUMN, &mut sink);
+    sink.finish().expect("Vec never fails")
+}
+
+#[test]
+fn csv_surfaces_write_errors_at_every_failure_point() {
+    let mut fmt = BatchFormatter::new();
+    let expected = expected_csv(&mut fmt);
+    assert!(!expected.is_empty());
+
+    // Fail at every byte offset, including 0 (header write fails) and
+    // mid-row: the error must come back through finish(), never a panic,
+    // and what landed must be a clean prefix of the reference bytes — a
+    // truncated file, not an interleaved or corrupted one.
+    for limit in 0..expected.len() {
+        let (writer, written) = FailAfter::new(limit);
+        let mut sink = IoSink::new(writer);
+        fmt.write_csv(&[("v", &COLUMN[..])], &mut sink);
+        let err = sink
+            .finish()
+            .expect_err(&format!("limit {limit}: error must propagate"));
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero, "limit {limit}");
+        let written = written.borrow();
+        assert!(
+            expected.starts_with(&written),
+            "limit {limit}: partial output is not a prefix of the reference"
+        );
+        assert!(written.len() <= limit, "limit {limit}: wrote past failure");
+    }
+
+    // At exactly the full length the write succeeds byte-for-byte.
+    let (writer, written) = FailAfter::new(expected.len());
+    let mut sink = IoSink::new(writer);
+    fmt.write_csv(&[("v", &COLUMN[..])], &mut sink);
+    sink.finish().expect("exact-fit writer succeeds");
+    assert_eq!(*written.borrow(), expected);
+}
+
+#[test]
+fn json_lines_surface_write_errors() {
+    let mut fmt = BatchFormatter::new();
+    let expected = expected_json_lines(&mut fmt);
+
+    for limit in [0, 1, expected.len() / 2, expected.len() - 1] {
+        let (writer, written) = FailAfter::new(limit);
+        let mut sink = IoSink::new(writer);
+        fmt.write_json_lines(&COLUMN, &mut sink);
+        assert!(
+            sink.finish().is_err(),
+            "limit {limit}: error must propagate"
+        );
+        assert!(
+            expected.starts_with(&written.borrow()),
+            "limit {limit}: partial output is not a prefix of the reference"
+        );
+    }
+
+    let (writer, written) = FailAfter::new(expected.len());
+    let mut sink = IoSink::new(writer);
+    fmt.write_json_lines(&COLUMN, &mut sink);
+    sink.finish().expect("exact fit succeeds");
+    assert_eq!(*written.borrow(), expected);
+}
+
+#[test]
+fn errored_sink_discards_later_output_instead_of_interleaving() {
+    // After the first failure the latched sink must drop all later bytes:
+    // the file ends at the failure point even though later, shorter rows
+    // would individually have fit under the writer's limit again.
+    let mut fmt = BatchFormatter::new();
+    let expected = expected_json_lines(&mut fmt);
+    let cut = 5; // inside the second row ("0.1\n" is 4 bytes)
+    let (writer, written) = FailAfter::new(cut);
+    let mut sink = IoSink::new(writer);
+    fmt.write_json_lines(&COLUMN, &mut sink);
+    assert!(sink.finish().is_err());
+    let written = written.borrow();
+    assert_eq!(*written, expected[..written.len()], "clean prefix");
+    assert!(written.len() <= cut);
+}

@@ -1,0 +1,208 @@
+//! End-to-end checks of the live instrumentation (`--features telemetry`):
+//! the registry's view of a batch run must agree with an offline recount,
+//! with the engine's own `MemoStats`, and with the §3.2 scaling contract —
+//! and the exposition formats must stay machine-readable.
+//!
+//! Everything lives in ONE `#[test]` function: the registry is
+//! process-global and the harness runs test functions concurrently, so
+//! exact-count assertions must not share a binary with other recording
+//! tests. (`Cargo.toml` gates this target behind the `telemetry` feature.)
+
+use fpp::batch::{BatchFormatter, BatchOptions, BatchOutput};
+use fpp::core::{free_format_digits, ScalingStrategy, TieBreak};
+use fpp::float::{RoundingMode, SoftFloat};
+use fpp::telemetry::{self, Counter, TelemetrySnapshot, DIGIT_LEN_BUCKETS};
+use fpp::testgen::log_uniform_doubles;
+
+/// Offline digit-length recount over distinct values of the workload.
+fn offline_hist(values: &[f64]) -> [u64; DIGIT_LEN_BUCKETS] {
+    let mut counts = std::collections::HashMap::new();
+    for &v in values {
+        *counts.entry(v.to_bits()).or_insert(0u64) += 1;
+    }
+    let mut powers = fpp::bignum::PowerTable::with_capacity(10, 350);
+    let mut hist = [0u64; DIGIT_LEN_BUCKETS];
+    for (&bits, &count) in &counts {
+        let sf = SoftFloat::from_f64(f64::from_bits(bits).abs()).expect("finite");
+        let d = free_format_digits(
+            &sf,
+            ScalingStrategy::Estimate,
+            RoundingMode::NearestEven,
+            TieBreak::Up,
+            &mut powers,
+        );
+        hist[d.digits.len().min(DIGIT_LEN_BUCKETS - 1)] += count;
+    }
+    hist
+}
+
+/// Minimal Prometheus text-format validation: every line is a `# TYPE`
+/// comment or `name[{labels}] value` with a parseable value.
+fn assert_prometheus_parses(text: &str) {
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        if line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (metric, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("line is not `metric SP value`: {line}"));
+        let name_end = metric.find('{').unwrap_or(metric.len());
+        assert!(
+            !metric[..name_end].is_empty()
+                && metric[..name_end]
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_'),
+            "bad metric name: {line}"
+        );
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "bad sample value: {line}"
+        );
+    }
+}
+
+#[test]
+fn live_counters_agree_with_offline_recount_and_memo_stats() {
+    // This target only exists with --features telemetry (Cargo.toml gates it).
+    const { assert!(telemetry::ENABLED) };
+    let n = 20_000;
+    let values: Vec<f64> = log_uniform_doubles(0xBEEF).take(n).collect();
+
+    // Formatters warm up real conversions at construction — build them all
+    // before resetting the counters.
+    let mut nocache = BatchFormatter::with_options(BatchOptions {
+        memo_capacity: 0,
+        ..BatchOptions::default()
+    });
+    let mut collide = BatchFormatter::with_options(BatchOptions {
+        memo_capacity: 16,
+        ..BatchOptions::default()
+    });
+    let mut out = BatchOutput::new();
+    let offline = offline_hist(&values);
+
+    // Pass 1: memo off, every value through the digit loop exactly once.
+    telemetry::reset();
+    nocache.format_f64s(&values, &mut out);
+    let snap = TelemetrySnapshot::capture();
+
+    assert_eq!(snap.get(Counter::CoreConversions), n as u64);
+    assert_eq!(
+        snap.digit_len, offline,
+        "live digit-length histogram diverges from the offline recount"
+    );
+    assert_eq!(
+        snap.digit_len.iter().sum::<u64>(),
+        snap.get(Counter::CoreConversions),
+        "histogram mass equals conversion count"
+    );
+    assert_eq!(
+        snap.get(Counter::CoreDigitsEmitted),
+        offline
+            .iter()
+            .enumerate()
+            .map(|(len, &c)| len as u64 * c)
+            .sum::<u64>(),
+        "digit total agrees with the recount"
+    );
+    assert_eq!(
+        snap.get(Counter::CoreTermLow)
+            + snap.get(Counter::CoreTermHigh)
+            + snap.get(Counter::CoreTermTie),
+        n as u64,
+        "every loop records exactly one termination cause"
+    );
+    assert_eq!(
+        snap.get(Counter::CoreScaleExact) + snap.get(Counter::CoreScaleFixups),
+        n as u64,
+        "every conversion records exactly one scale-estimate check"
+    );
+    assert_eq!(
+        snap.get(Counter::CoreScaleViolations),
+        0,
+        "§3.2 'within one' contract violated"
+    );
+    assert!(
+        snap.get(Counter::ScratchTakes) > 0,
+        "scratch arena instrumentation is wired"
+    );
+    assert_eq!(snap.get(Counter::BatchSerialBatches), 1);
+    assert_eq!(
+        snap.get(Counter::BatchMemoHits) + snap.get(Counter::BatchMemoMisses),
+        0,
+        "a disabled memo must not record lookups"
+    );
+
+    // Pass 2: a 16-slot memo under a 40-distinct-value collision workload —
+    // registry counters must mirror the engine's own MemoStats, evictions
+    // included.
+    let pool: Vec<f64> = values.iter().copied().step_by(500).take(40).collect();
+    let column: Vec<f64> = (0..10_000).map(|i| pool[(i * 7 + i / 13) % 40]).collect();
+    telemetry::reset();
+    collide.format_f64s(&column, &mut out);
+    let snap = TelemetrySnapshot::capture();
+    let stats = collide.memo_stats();
+    assert_eq!(snap.get(Counter::BatchMemoHits), stats.hits);
+    assert_eq!(snap.get(Counter::BatchMemoMisses), stats.misses);
+    assert_eq!(snap.get(Counter::BatchMemoEvictions), stats.evictions);
+    assert!(stats.evictions > 0, "40 keys over 16 slots must evict");
+    assert!(stats.hits > 0);
+    assert!(
+        (snap.memo_hit_rate() - stats.hit_rate()).abs() < 1e-12,
+        "derived hit rates agree"
+    );
+
+    // Sharded pass: worker threads flush their blocks when the scope joins
+    // them, so the aggregate sees every shard's values.
+    telemetry::reset();
+    let mut sharded = BatchFormatter::with_options(BatchOptions {
+        threads: Some(3),
+        min_shard_len: 8,
+        ..BatchOptions::default()
+    });
+    let mut sharded_out = BatchOutput::new();
+    sharded.format_f64s_sharded(&column, &mut sharded_out);
+    let snap = TelemetrySnapshot::capture();
+    assert_eq!(snap.get(Counter::BatchShardedBatches), 1);
+    assert_eq!(snap.get(Counter::BatchShardsRun), 3);
+    assert_eq!(
+        snap.get(Counter::BatchShardedValues),
+        column.len() as u64,
+        "shard lengths sum to the input length"
+    );
+    assert!(snap.get(Counter::BatchStitchBytes) > 0);
+    assert_eq!(
+        snap.shard_len_log2.iter().sum::<u64>(),
+        snap.get(Counter::BatchShardsRun),
+        "shard histogram mass equals shard count"
+    );
+
+    // Reader wiring: a short literal takes the fast path, a 20-significant-
+    // digit one falls back to exact big-integer conversion.
+    telemetry::reset();
+    assert_eq!(fpp::reader::read_f64("0.5").unwrap(), 0.5);
+    let _ = fpp::reader::read_f64("1.2345678901234567890e-300").unwrap();
+    let snap = TelemetrySnapshot::capture();
+    assert_eq!(snap.get(Counter::ReaderReads), 2);
+    assert_eq!(snap.get(Counter::ReaderFastPathHits), 1);
+    assert_eq!(snap.get(Counter::ReaderExactFallbacks), 1);
+
+    // Exposition smoke: Prometheus lines parse, JSON carries the stable keys.
+    let prom = snap.to_prometheus();
+    assert_prometheus_parses(&prom);
+    assert!(prom.contains("# TYPE fpp_core_conversions counter"));
+    assert!(prom.contains("fpp_reader_reads 2"));
+    assert!(prom.contains("fpp_core_digit_len_bucket{le=\"+Inf\"}"));
+    let json = snap.to_json();
+    for key in [
+        "\"schema_version\"",
+        "\"core_conversions\"",
+        "\"batch_memo_evictions\"",
+        "\"scratch_pool_hwm\"",
+        "\"core_digit_len\"",
+        "\"batch_shard_len_log2\"",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}");
+    }
+}
