@@ -31,6 +31,24 @@ for key in bench schema_version threads element_count workloads floats_per_sec \
     || { echo "BENCH_batch.json missing key: $key"; exit 1; }
 done
 
+echo "== fast path: parity tests (release) =="
+# Byte-for-byte parity of the Grisu-style fast path against the exact
+# engine: the sampled/stratified suites, plus the 10M-sample sweep (ignored
+# by default — it needs release-mode speed).
+cargo test --release -q --test fastpath_parity
+cargo test --release -q --test fastpath_parity -- --ignored ten_million
+
+echo "== fast path: bench smoke + BENCH_fastpath.json schema =="
+cargo run -p fpp-bench --release --bin fastpath -- --quick
+for key in bench schema_version quick element_count workloads accept_rate \
+           exact_floats_per_sec fast_floats_per_sec speedup summary \
+           parity_checked; do
+  grep -q "\"$key\"" BENCH_fastpath.json \
+    || { echo "BENCH_fastpath.json missing key: $key"; exit 1; }
+done
+grep -q '"parity_checked": true' BENCH_fastpath.json \
+  || { echo "fast-path parity audit did not run"; exit 1; }
+
 echo "== telemetry build + tests (--features telemetry) =="
 # The instrumented configuration is a separate feature unification: build it,
 # run the whole suite under it (including the exact-count tests/telemetry.rs
@@ -49,7 +67,8 @@ echo "== live stats smoke + BENCH_telemetry.json schema =="
 cargo run -p fpp-bench --release --features telemetry --bin stats_live -- --quick
 for key in bench schema_version quick telemetry_enabled threads element_count \
            distinct_values digit_len_hist digit_len_offline histogram_match \
-           mean_digits fixup_rate scale_violations term memo scratch sharded; do
+           mean_digits fixup_rate scale_violations term memo fastpath scratch \
+           sharded; do
   grep -q "\"$key\"" BENCH_telemetry.json \
     || { echo "BENCH_telemetry.json missing key: $key"; exit 1; }
 done

@@ -52,10 +52,15 @@ pub struct MemoStats {
     /// direct-mapped collision cost. High eviction counts with low hit
     /// rates say the working set outsizes the memo.
     pub evictions: u64,
+    /// Probes skipped while the adaptive guard had probing suspended (the
+    /// observed hit rate stayed under its threshold). Counted as neither
+    /// hits nor misses.
+    pub skipped: u64,
 }
 
 impl MemoStats {
-    /// Hit fraction in `[0, 1]` (`0` when no lookups have happened).
+    /// Hit fraction in `[0, 1]` over the probes that actually ran (`0`
+    /// when no lookups have happened; skipped probes are excluded).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -73,20 +78,42 @@ impl MemoStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
+            skipped: self.skipped + other.skipped,
         }
     }
 }
 
+/// Probes per observation window of the adaptive guard.
+const GUARD_WINDOW: u32 = 1024;
+
+/// Hits a window must reach (1/16 of it) to keep probing enabled. Below
+/// this the probe itself costs more than the rare hit saves — the
+/// essentially-all-distinct "uniform" workload shape.
+const GUARD_MIN_HITS: u32 = GUARD_WINDOW / 16;
+
+/// Probes skipped before re-enabling, so a workload whose repeat structure
+/// returns (e.g. a sorted column reaching its dense region) is noticed.
+const GUARD_SKIP: u32 = 8 * GUARD_WINDOW;
+
 /// A direct-mapped last-writer-wins memo of rendered floats, keyed on bits.
 ///
 /// All storage is one boxed slab allocated at construction; lookups and
-/// inserts never touch the allocator.
+/// inserts never touch the allocator. An adaptive guard watches the hit
+/// rate in windows of [`GUARD_WINDOW`] probes and suspends probing for
+/// [`GUARD_SKIP`] lookups when a window's hits fall under
+/// [`GUARD_MIN_HITS`], so ~0%-hit-rate columns stop paying for the probe.
 #[derive(Debug, Clone)]
 pub(crate) struct DigitMemo {
     /// Slot-index mask (`slots.len() - 1`; slot count is a power of two).
     mask: u64,
     slots: Box<[Slot]>,
     stats: MemoStats,
+    /// Probes observed in the current guard window.
+    window_probes: u32,
+    /// Hits observed in the current guard window.
+    window_hits: u32,
+    /// When non-zero, probing is suspended for this many more lookups.
+    skip_remaining: u32,
 }
 
 /// Fibonacci multiplicative hash spreading bit-pattern keys over slots:
@@ -107,30 +134,58 @@ impl DigitMemo {
             mask: slots.saturating_sub(1) as u64,
             slots: vec![Slot::VACANT; slots].into_boxed_slice(),
             stats: MemoStats::default(),
+            window_probes: 0,
+            window_hits: 0,
+            skip_remaining: 0,
         }
     }
 
-    /// Returns the remembered text for `key`, if its slot holds that key.
+    /// Returns the remembered text for `key`, if its slot holds that key
+    /// and the adaptive guard has probing enabled.
     pub(crate) fn lookup(&mut self, key: u64) -> Option<&[u8]> {
         if self.slots.is_empty() {
             return None;
         }
-        let slot = &self.slots[(spread(key) & self.mask) as usize];
-        if slot.len != EMPTY && slot.key == key {
+        if self.skip_remaining > 0 {
+            self.skip_remaining -= 1;
+            self.stats.skipped += 1;
+            fpp_telemetry::record_memo_skip();
+            return None;
+        }
+        let idx = (spread(key) & self.mask) as usize;
+        let hit = {
+            let slot = &self.slots[idx];
+            slot.len != EMPTY && slot.key == key
+        };
+        self.window_probes += 1;
+        if hit {
+            self.window_hits += 1;
             self.stats.hits += 1;
-            fpp_telemetry::record_memo_lookup(true);
-            Some(&slot.text[..slot.len as usize])
         } else {
             self.stats.misses += 1;
-            fpp_telemetry::record_memo_lookup(false);
+        }
+        fpp_telemetry::record_memo_lookup(hit);
+        if self.window_probes >= GUARD_WINDOW {
+            if self.window_hits < GUARD_MIN_HITS {
+                self.skip_remaining = GUARD_SKIP;
+            }
+            self.window_probes = 0;
+            self.window_hits = 0;
+        }
+        if hit {
+            let slot = &self.slots[idx];
+            Some(&slot.text[..slot.len as usize])
+        } else {
             None
         }
     }
 
     /// Remembers `text` for `key`, evicting whatever held the slot. Texts
-    /// longer than [`MEMO_SLOT_BYTES`] are skipped (they stay convert-only).
+    /// longer than [`MEMO_SLOT_BYTES`] are skipped (they stay convert-only),
+    /// as are inserts while the guard has probing suspended (nothing would
+    /// read them until it re-enables).
     pub(crate) fn insert(&mut self, key: u64, text: &[u8]) {
-        if self.slots.is_empty() || text.len() > MEMO_SLOT_BYTES {
+        if self.slots.is_empty() || self.skip_remaining > 0 || text.len() > MEMO_SLOT_BYTES {
             return;
         }
         let slot = &mut self.slots[(spread(key) & self.mask) as usize];
@@ -164,9 +219,49 @@ mod tests {
             MemoStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                skipped: 0
             }
         );
+    }
+
+    #[test]
+    fn adaptive_guard_suspends_and_resumes_probing() {
+        let mut memo = DigitMemo::new(8);
+        // A full window of distinct keys: every probe misses, so the guard
+        // trips and suspends probing for GUARD_SKIP lookups.
+        for key in 0..u64::from(GUARD_WINDOW) {
+            assert_eq!(memo.lookup(key ^ 0xDEAD_BEEF), None);
+            memo.insert(key ^ 0xDEAD_BEEF, b"x");
+        }
+        let after_window = memo.stats();
+        assert_eq!(after_window.misses, u64::from(GUARD_WINDOW));
+        assert_eq!(after_window.skipped, 0);
+        // Suspended span: lookups are skipped (not misses), inserts dropped.
+        for key in 0..u64::from(GUARD_SKIP) {
+            assert_eq!(memo.lookup(key), None);
+            memo.insert(key, b"y");
+        }
+        let suspended = memo.stats();
+        assert_eq!(suspended.misses, after_window.misses, "no probes ran");
+        assert_eq!(suspended.skipped, u64::from(GUARD_SKIP));
+        // Probing resumes afterwards: a repeat-heavy phase hits again.
+        memo.insert(7, b"z");
+        assert_eq!(memo.lookup(7), Some(&b"z"[..]));
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(memo.stats().skipped, u64::from(GUARD_SKIP));
+    }
+
+    #[test]
+    fn guard_keeps_probing_on_hit_heavy_windows() {
+        let mut memo = DigitMemo::new(8);
+        memo.insert(1, b"a");
+        // Several windows of pure hits: the guard must never trip.
+        for _ in 0..(3 * GUARD_WINDOW) {
+            assert_eq!(memo.lookup(1), Some(&b"a"[..]));
+        }
+        assert_eq!(memo.stats().skipped, 0);
+        assert_eq!(memo.stats().hits, u64::from(3 * GUARD_WINDOW));
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub struct BatchOptions {
     /// default 4096 keeps each shard's slice and output comfortably inside
     /// the L2 cache while amortising spawn cost.
     pub min_shard_len: usize,
+    /// Whether to try the Grisu-style fixed-precision fast path *before*
+    /// the memo probe (default `true`). The fast path is cheaper than a
+    /// memo hit and independent of repeat structure, so even 0%-hit-rate
+    /// columns get the speedup; only its rare rejections consult the memo
+    /// and the exact engine. Disable to measure or exercise the
+    /// memo/exact-engine pipeline itself.
+    pub fast_path: bool,
 }
 
 impl Default for BatchOptions {
@@ -41,6 +48,7 @@ impl Default for BatchOptions {
             memo_capacity: 8192,
             threads: None,
             min_shard_len: 4096,
+            fast_path: true,
         }
     }
 }
@@ -62,8 +70,12 @@ impl Default for BatchOptions {
 #[derive(Debug)]
 pub struct BatchFormatter {
     /// The fixed conversion recipe: shortest round-tripping base-10 text,
-    /// exactly [`fpp_core::print_shortest`]'s configuration.
+    /// exactly [`fpp_core::print_shortest`]'s configuration (fast path per
+    /// [`BatchOptions::fast_path`]).
     format: FreeFormat,
+    /// The same recipe with the fast path off — what runs after a fast-path
+    /// rejection misses the memo, so the attempt is never repeated.
+    format_exact: FreeFormat,
     ctx: DtoaContext,
     memo64: DigitMemo,
     memo32: DigitMemo,
@@ -91,7 +103,8 @@ impl BatchFormatter {
         let mut ctx = DtoaContext::new(10);
         ctx.warm_up();
         BatchFormatter {
-            format: FreeFormat::new(),
+            format: FreeFormat::new().fast_path(opts.fast_path),
+            format_exact: FreeFormat::new().fast_path(false),
             ctx,
             memo64: DigitMemo::new(opts.memo_capacity),
             memo32: DigitMemo::new(opts.memo_capacity),
@@ -107,7 +120,7 @@ impl BatchFormatter {
     pub fn format_f64s(&mut self, values: &[f64], out: &mut BatchOutput) {
         fpp_telemetry::record_serial_batch();
         format_slice(
-            &self.format,
+            (&self.format, &self.format_exact),
             &mut self.ctx,
             &mut self.memo64,
             f64::to_bits,
@@ -122,7 +135,7 @@ impl BatchFormatter {
     pub fn format_f32s(&mut self, values: &[f32], out: &mut BatchOutput) {
         fpp_telemetry::record_serial_batch();
         format_slice(
-            &self.format,
+            (&self.format, &self.format_exact),
             &mut self.ctx,
             &mut self.memo32,
             |v| u64::from(v.to_bits()),
@@ -131,10 +144,14 @@ impl BatchFormatter {
         );
     }
 
-    /// Formats one value through the memo into any sink — the building
-    /// block of the serializer frontends, and useful for interleaving
-    /// single values with batches without losing the warm state.
+    /// Formats one value into any sink — the building block of the
+    /// serializer frontends, and useful for interleaving single values with
+    /// batches without losing the warm state. Same ordering as the batch
+    /// loop: fast path, then memo, then the exact engine.
     pub fn format_one_f64(&mut self, v: f64, sink: &mut impl fpp_core::DigitSink) {
+        if self.format.try_write_fast(&mut self.ctx, sink, v) {
+            return;
+        }
         let bits = v.to_bits();
         if let Some(text) = self.memo64.lookup(bits) {
             sink.push_slice(text);
@@ -142,7 +159,7 @@ impl BatchFormatter {
         }
         let mut buf = [0u8; 64];
         let mut scratch = fpp_core::SliceSink::new(&mut buf);
-        self.format.write_to(&mut self.ctx, &mut scratch, v);
+        self.format_exact.write_to(&mut self.ctx, &mut scratch, v);
         self.memo64.insert(bits, scratch.as_bytes());
         sink.push_slice(scratch.as_bytes());
     }
@@ -166,12 +183,16 @@ impl BatchFormatter {
     }
 }
 
-/// The shared per-slice conversion loop: memo consult, pipeline on miss,
-/// arena append either way. Keying is a function of the value's bits so the
-/// same loop serves both float widths (each with its own memo — a `f32` and
-/// a `f64` can share low bit patterns).
+/// The shared per-slice conversion loop: fast path first, then memo
+/// consult, then the exact pipeline on a miss, arena append either way.
+/// The fast path runs *before* the memo because a proof-carrying `u64`
+/// conversion is cheaper than the probe and independent of repeat
+/// structure; only its rejections pay for the memo and the bignum engine.
+/// Keying is a function of the value's bits so the same loop serves both
+/// float widths (each with its own memo — a `f32` and a `f64` can share
+/// low bit patterns).
 fn format_slice<F: FloatFormat>(
-    format: &FreeFormat,
+    (fast, exact): (&FreeFormat, &FreeFormat),
     ctx: &mut DtoaContext,
     memo: &mut DigitMemo,
     key: impl Fn(F) -> u64,
@@ -180,13 +201,17 @@ fn format_slice<F: FloatFormat>(
 ) {
     out.begin();
     for &v in values {
+        if fast.try_write_fast(ctx, out.sink(), v) {
+            out.seal();
+            continue;
+        }
         let bits = key(v);
         if let Some(text) = memo.lookup(bits) {
             out.push_entry(text);
             continue;
         }
         let mark = out.mark();
-        format.write_to(ctx, out.sink(), v);
+        exact.write_to(ctx, out.sink(), v);
         memo.insert(bits, out.since(mark));
         out.seal();
     }
@@ -234,9 +259,9 @@ mod parallel {
         /// Inputs shorter than twice [`BatchOptions::min_shard_len`] take
         /// the serial path unchanged.
         pub fn format_f64s_sharded(&mut self, values: &[f64], out: &mut BatchOutput) {
-            self.format_sharded(values, out, |w, fmt, chunk| {
+            self.format_sharded(values, out, |w, fmts, chunk| {
                 format_slice(
-                    fmt,
+                    fmts,
                     &mut w.ctx,
                     &mut w.memo64,
                     f64::to_bits,
@@ -249,9 +274,9 @@ mod parallel {
         /// Formats a column of `f32`s into `out` across shard threads (see
         /// [`Self::format_f64s_sharded`] for the splitting/stitching rules).
         pub fn format_f32s_sharded(&mut self, values: &[f32], out: &mut BatchOutput) {
-            self.format_sharded(values, out, |w, fmt, chunk| {
+            self.format_sharded(values, out, |w, fmts, chunk| {
                 format_slice(
-                    fmt,
+                    fmts,
                     &mut w.ctx,
                     &mut w.memo32,
                     |v| u64::from(v.to_bits()),
@@ -276,7 +301,7 @@ mod parallel {
             &mut self,
             values: &[F],
             out: &mut BatchOutput,
-            run: impl Fn(&mut ShardWorker, &FreeFormat, &[F]) + Send + Sync,
+            run: impl Fn(&mut ShardWorker, (&FreeFormat, &FreeFormat), &[F]) + Send + Sync,
         ) {
             let shards = self.shard_count(values.len());
             let chunk_len = values.len().div_ceil(shards.max(1)).max(1);
@@ -285,12 +310,12 @@ mod parallel {
                 self.workers.push(ShardWorker::new(self.opts.memo_capacity));
             }
             fpp_telemetry::record_sharded_batch(used);
-            let format = &self.format;
+            let fmts = (&self.format, &self.format_exact);
             let workers = &mut self.workers[..used];
             if used == 1 {
                 // One shard: run inline, skipping thread spawn entirely.
                 fpp_telemetry::record_shard(values.len());
-                run(&mut workers[0], format, values);
+                run(&mut workers[0], fmts, values);
             } else {
                 std::thread::scope(|scope| {
                     for (worker, chunk) in workers.iter_mut().zip(values.chunks(chunk_len)) {
@@ -302,7 +327,7 @@ mod parallel {
                             // unblocks (TLS destructors alone can race the
                             // scope exit).
                             fpp_telemetry::record_shard(chunk.len());
-                            run(worker, format, chunk);
+                            run(worker, fmts, chunk);
                             fpp_telemetry::flush_thread();
                         });
                     }
@@ -334,13 +359,37 @@ mod tests {
 
     #[test]
     fn memo_hits_on_repeats_without_changing_output() {
+        // Fast path off: this test pins down the memo pipeline itself.
+        let values = [2.5, 2.5, 2.5, 2.5];
+        let mut fmt = BatchFormatter::with_options(BatchOptions {
+            fast_path: false,
+            ..BatchOptions::default()
+        });
+        let mut out = BatchOutput::new();
+        fmt.format_f64s(&values, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), ["2.5"; 4]);
+        let stats = fmt.memo_stats();
+        assert_eq!(stats.hits, 3, "first is a miss, the rest hit");
+    }
+
+    #[test]
+    fn fast_path_answers_before_the_memo() {
+        // With the fast path on (the default), values it accepts never
+        // touch the memo — even when they repeat.
         let values = [2.5, 2.5, 2.5, 2.5];
         let mut fmt = BatchFormatter::new();
         let mut out = BatchOutput::new();
         fmt.format_f64s(&values, &mut out);
         assert_eq!(out.iter().collect::<Vec<_>>(), ["2.5"; 4]);
         let stats = fmt.memo_stats();
-        assert_eq!(stats.hits, 3, "first is a miss, the rest hit");
+        assert_eq!(stats.hits + stats.misses, 0, "memo never probed");
+        // A fast-path rejection (1e23 is an exact endpoint case) still
+        // flows through the memo and the exact engine.
+        let mut out = BatchOutput::new();
+        fmt.format_f64s(&[1e23, 1e23], &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), ["1e23"; 2]);
+        let stats = fmt.memo_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
     }
 
     #[test]
@@ -358,7 +407,11 @@ mod tests {
 
     #[test]
     fn format_one_routes_through_memo() {
-        let mut fmt = BatchFormatter::new();
+        // Fast path off so the memo leg of format_one_f64 is exercised.
+        let mut fmt = BatchFormatter::with_options(BatchOptions {
+            fast_path: false,
+            ..BatchOptions::default()
+        });
         let mut sink = Vec::new();
         fmt.format_one_f64(9.97, &mut sink);
         fmt.format_one_f64(9.97, &mut sink);

@@ -25,24 +25,13 @@
 //! false` — the cross-checks are only asserted when the counters are live.
 
 use fpp_batch::{BatchFormatter, BatchOptions, BatchOutput};
+use fpp_bench::workloads::telemetry_column;
 use fpp_bignum::PowerTable;
 use fpp_core::{free_format_digits, ScalingStrategy, TieBreak};
 use fpp_float::{RoundingMode, SoftFloat};
 use fpp_telemetry::{Counter, Gauge, TelemetrySnapshot, DIGIT_LEN_BUCKETS};
-use fpp_testgen::log_uniform_doubles;
-use fpp_testgen::prng::Xoshiro256pp;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-
-/// The duplicate-heavy column shape (same construction as the `throughput`
-/// bench's `telemetry` workload): `n` draws from `distinct` values.
-fn telemetry_column(n: usize, distinct: usize) -> Vec<f64> {
-    let pool: Vec<f64> = log_uniform_doubles(0xC0FFEE).take(distinct).collect();
-    let mut rng = Xoshiro256pp::seed_from_u64(7);
-    (0..n)
-        .map(|_| pool[rng.range_inclusive(0, distinct as u64 - 1) as usize])
-        .collect()
-}
 
 /// Offline recount of the digit-length histogram: one conversion per
 /// distinct bit pattern, weighted by its occurrence count.
@@ -90,8 +79,12 @@ fn main() {
     // Construct (and warm) every formatter *before* resetting the counters:
     // `DtoaContext::warm_up` runs real conversions that would otherwise
     // contaminate the histograms.
+    // Pass 1 runs with the fast path off as well as the memo: its whole
+    // point is that *every* value exercises the exact digit loop so the
+    // live histogram can be recounted offline.
     let mut nocache = BatchFormatter::with_options(BatchOptions {
         memo_capacity: 0,
+        fast_path: false,
         ..BatchOptions::default()
     });
     let mut cached = BatchFormatter::new();
@@ -142,6 +135,32 @@ fn main() {
             engine_snap.get(Counter::BatchMemoHits) + engine_snap.get(Counter::BatchMemoMisses),
             "MemoStats and telemetry registry disagree"
         );
+        assert_eq!(
+            memo.skipped,
+            engine_snap.get(Counter::BatchMemoSkipped),
+            "MemoStats.skipped and telemetry registry disagree"
+        );
+        // Pass 1 must never attempt the fast path; pass 2 attempts it on
+        // every finite value of both the serial and sharded runs.
+        assert_eq!(
+            hist_snap.get(Counter::CoreFastPathHits)
+                + hist_snap.get(Counter::CoreFastPathFallbacks),
+            0,
+            "fast path ran in the exact-engine histogram pass"
+        );
+        assert_eq!(
+            engine_snap.get(Counter::CoreFastPathHits)
+                + engine_snap.get(Counter::CoreFastPathFallbacks),
+            2 * n as u64,
+            "every engine-pass conversion records one fast-path attempt"
+        );
+        // A fast-path fallback either hits the memo or runs the exact
+        // engine — so exact conversions and memo misses must agree.
+        assert_eq!(
+            engine_snap.get(Counter::CoreConversions),
+            engine_snap.get(Counter::BatchMemoMisses),
+            "fallbacks must partition into memo hits and exact conversions"
+        );
     }
 
     let mean_digits = hist_snap.mean_digits();
@@ -164,11 +183,18 @@ fn main() {
         hist_snap.get(Counter::CoreScaleViolations),
     );
     println!(
-        "memo               {} hits / {} misses / {} evictions (hit rate {:.4})",
+        "memo               {} hits / {} misses / {} evictions / {} skipped (hit rate {:.4})",
         memo.hits,
         memo.misses,
         memo.evictions,
+        memo.skipped,
         memo.hit_rate()
+    );
+    println!(
+        "fast path          {} hits / {} fallbacks (hit rate {:.4})",
+        engine_snap.get(Counter::CoreFastPathHits),
+        engine_snap.get(Counter::CoreFastPathFallbacks),
+        engine_snap.fastpath_hit_rate(),
     );
     println!(
         "scratch arena      {} takes, {} pool misses, pool hwm {}, limb hwm {}",
@@ -184,7 +210,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"telemetry_stats\",\n  \"schema_version\": 1,\n  \"quick\": {quick},\n  \"telemetry_enabled\": {enabled},\n  \"threads\": {threads},\n  \"element_count\": {n},\n  \"distinct_values\": {distinct},\n  \"digit_len_hist\": {},\n  \"digit_len_offline\": {},\n  \"histogram_match\": {histogram_match},\n  \"mean_digits\": {mean_digits:.4},\n  \"fixup_rate\": {fixup_rate:.6},\n  \"scale_violations\": {},\n  \"term\": {{\n    \"low\": {},\n    \"high\": {},\n    \"tie\": {},\n    \"tie_round_up\": {}\n  }},\n  \"memo\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"evictions\": {},\n    \"hit_rate\": {:.6}\n  }},\n  \"scratch\": {{\n    \"takes\": {},\n    \"puts\": {},\n    \"pool_misses\": {},\n    \"pool_hwm\": {},\n    \"limbs_hwm\": {}\n  }},\n  \"sharded\": {{\n    \"batches\": {},\n    \"shards_run\": {},\n    \"stitch_bytes\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"telemetry_stats\",\n  \"schema_version\": 1,\n  \"quick\": {quick},\n  \"telemetry_enabled\": {enabled},\n  \"threads\": {threads},\n  \"element_count\": {n},\n  \"distinct_values\": {distinct},\n  \"digit_len_hist\": {},\n  \"digit_len_offline\": {},\n  \"histogram_match\": {histogram_match},\n  \"mean_digits\": {mean_digits:.4},\n  \"fixup_rate\": {fixup_rate:.6},\n  \"scale_violations\": {},\n  \"term\": {{\n    \"low\": {},\n    \"high\": {},\n    \"tie\": {},\n    \"tie_round_up\": {}\n  }},\n  \"memo\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"evictions\": {},\n    \"skipped\": {},\n    \"hit_rate\": {:.6}\n  }},\n  \"fastpath\": {{\n    \"hits\": {},\n    \"fallbacks\": {},\n    \"hit_rate\": {:.6}\n  }},\n  \"scratch\": {{\n    \"takes\": {},\n    \"puts\": {},\n    \"pool_misses\": {},\n    \"pool_hwm\": {},\n    \"limbs_hwm\": {}\n  }},\n  \"sharded\": {{\n    \"batches\": {},\n    \"shards_run\": {},\n    \"stitch_bytes\": {}\n  }}\n}}\n",
         json_array(&hist_snap.digit_len),
         json_array(&offline),
         hist_snap.get(Counter::CoreScaleViolations),
@@ -195,7 +221,11 @@ fn main() {
         memo.hits,
         memo.misses,
         memo.evictions,
+        memo.skipped,
         memo.hit_rate(),
+        engine_snap.get(Counter::CoreFastPathHits),
+        engine_snap.get(Counter::CoreFastPathFallbacks),
+        engine_snap.fastpath_hit_rate(),
         engine_snap.get(Counter::ScratchTakes),
         engine_snap.get(Counter::ScratchPuts),
         engine_snap.get(Counter::ScratchPoolMisses),

@@ -32,8 +32,7 @@
 //! there come from context reuse and the memo; shard scaling needs cores.
 
 use fpp_batch::{BatchFormatter, BatchOptions, BatchOutput};
-use fpp_testgen::prng::Xoshiro256pp;
-use fpp_testgen::{log_uniform_doubles, SchryerSet};
+use fpp_bench::workloads::{schryer_column, telemetry_column, uniform_column};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -53,15 +52,6 @@ impl RunStat {
     fn mb_per_sec(&self) -> f64 {
         self.bytes as f64 / 1e6 / self.elapsed_s
     }
-}
-
-/// Builds the duplicate-heavy column: `n` draws from `distinct` values.
-fn telemetry_column(n: usize, distinct: usize) -> Vec<f64> {
-    let pool: Vec<f64> = log_uniform_doubles(0xC0FFEE).take(distinct).collect();
-    let mut rng = Xoshiro256pp::seed_from_u64(7);
-    (0..n)
-        .map(|_| pool[rng.range_inclusive(0, distinct as u64 - 1) as usize])
-        .collect()
 }
 
 /// The status-quo loop every caller writes today: one `String` per value.
@@ -169,14 +159,10 @@ fn main() {
     let distinct = 2_000usize;
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
-    let schryer_base = SchryerSet::new().collect();
     let workloads: Vec<(&str, Vec<f64>)> = vec![
-        ("uniform", log_uniform_doubles(42).take(n).collect()),
+        ("uniform", uniform_column(n)),
         ("telemetry", telemetry_column(n, distinct)),
-        (
-            "schryer",
-            schryer_base.iter().copied().cycle().take(n).collect(),
-        ),
+        ("schryer", schryer_column(n)),
     ];
 
     println!("batch throughput: {n} values/workload, {threads} hardware thread(s)\n");

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod sweep;
+pub mod workloads;
 
 pub use sweep::{
     count_fixed_roundtrip_failures, count_free_roundtrip_failures, count_naive_incorrect,

@@ -87,7 +87,12 @@ impl PowerTable {
         }
         let mut out = scratch.take();
         self.scale_into(&*n, exp, &mut out);
-        std::mem::swap(n, &mut out);
+        // Copy rather than swap: swapping would trade `n`'s (large, warmed)
+        // buffer into the scratch pool for whatever-sized one `take`
+        // returned, and that capacity churn makes steady-state allocation
+        // behavior depend on pool LIFO order. A copy keeps every buffer at
+        // its high-water mark, so the warmed pipeline never reallocates.
+        n.assign(&out);
         scratch.put(out);
     }
 

@@ -70,19 +70,63 @@ impl DtoaContext {
     /// engines call this once per shard context at construction; without it
     /// the warm-up cost lands inside the first timed batch instead.
     pub fn warm_up(&mut self) -> &mut Self {
-        let format = crate::FreeFormat::new().base(self.base());
-        let mut buf = [0u8; 96];
-        for v in [
-            f64::MAX,          // largest exponent: deepest positive powers
-            5e-324,            // smallest denormal: deepest negative powers
-            f64::MIN_POSITIVE, // the narrow-gap boundary case
-            1.0 / 3.0,         // a full 17-significant-digit output
-            6.02214076e23,     // scientific layout with a long mantissa
-        ] {
+        // Priming traffic, not workload: don't let it contaminate live
+        // counters (shard contexts are built lazily, mid-measurement).
+        fpp_telemetry::with_recording_paused(|| {
+            // Drive the extremes through the *exact* engine explicitly:
+            // with the fast path enabled, accepted values would skip the
+            // bignum pipeline and leave its registers (and deep power-table
+            // entries) cold for the first rejected conversion.
+            let exact = crate::FreeFormat::new().base(self.base()).fast_path(false);
+            let mut buf = [0u8; 96];
+            for v in [
+                f64::MAX,          // largest exponent: deepest positive powers
+                5e-324,            // smallest denormal: deepest negative powers
+                f64::MIN_POSITIVE, // the narrow-gap boundary case
+                1.0 / 3.0,         // a full 17-significant-digit output
+                6.02214076e23,     // scientific layout with a long mantissa
+            ] {
+                let mut sink = crate::SliceSink::new(&mut buf);
+                exact.write_to(self, &mut sink, v);
+            }
+            // One fast-path conversion forces the one-time (global) cached
+            // powers-of-ten table build, so it never lands in a timed
+            // region.
+            let fast = crate::FreeFormat::new().base(self.base());
             let mut sink = crate::SliceSink::new(&mut buf);
-            format.write_to(self, &mut sink, v);
-        }
+            fast.write_to(self, &mut sink, 1.0 / 3.0);
+        });
         self
+    }
+
+    /// Writes the shortest round-tripping form of `v` into `sink` — the
+    /// method form of [`crate::write_shortest`] (identical bytes). Tries
+    /// the Grisu-style fast path first and falls back to the exact
+    /// Burger–Dybvig engine when the fast path cannot prove its answer.
+    ///
+    /// ```
+    /// use fpp_core::{DtoaContext, SliceSink};
+    /// let mut ctx = DtoaContext::new(10);
+    /// let mut buf = [0u8; 32];
+    /// let mut sink = SliceSink::new(&mut buf);
+    /// ctx.write_shortest(&mut sink, 0.3);
+    /// assert_eq!(sink.as_str(), "0.3");
+    /// ```
+    pub fn write_shortest(&mut self, sink: &mut impl crate::DigitSink, v: f64) {
+        crate::write_shortest(self, sink, v);
+    }
+
+    /// Writes the shortest round-tripping form of an `f32` (with `f32`
+    /// boundaries) into `sink` — the method form of
+    /// [`crate::write_shortest_f32`].
+    pub fn write_shortest_f32(&mut self, sink: &mut impl crate::DigitSink, v: f32) {
+        crate::write_shortest_f32(self, sink, v);
+    }
+
+    /// Writes `v` with exactly `fraction_digits` fractional places into
+    /// `sink` — the method form of [`crate::write_fixed`].
+    pub fn write_fixed(&mut self, sink: &mut impl crate::DigitSink, v: f64, fraction_digits: u32) {
+        crate::write_fixed(self, sink, v, fraction_digits);
     }
 }
 

@@ -85,6 +85,9 @@ pub(crate) fn generate_into(
     sum: &mut Nat,
 ) {
     debug_assert!((2..=36).contains(&base));
+    if generate_u64(state, base, inc, tie, digits) {
+        return;
+    }
     let start = digits.len();
     let term = loop {
         let q = state.r.div_rem_step(&state.s);
@@ -155,6 +158,110 @@ pub(crate) fn generate_into(
             fpp_telemetry::record_scale_violation();
         }
     }
+}
+
+/// The register's single limb, treating the empty (zero) representation as
+/// `0`; `None` when more than one limb is live.
+fn single_limb(n: &Nat) -> Option<u64> {
+    match n.limbs() {
+        [] => Some(0),
+        &[l] => Some(l),
+        _ => None,
+    }
+}
+
+/// Single-limb specialization of the digit loop: when `r`, `s`, `m⁺`, `m⁻`
+/// all fit one limb with enough headroom, the whole loop runs on plain
+/// `u64` arithmetic — no limb vectors, no carries. For base 10 this covers
+/// the common mid-range window (roughly `0.03 ≤ v ≤ 10¹⁷` for `f64`).
+///
+/// Semantics are identical to the big-integer loop, including telemetry
+/// and the exit contract (`state.r` ← gap to `high`, `s` unchanged, `m±`
+/// scaled). Returns `false` without touching anything when the gate fails.
+///
+/// Headroom proof for the gate `s ≤ 2⁶² / base`, `r, m⁺, m⁻ ≤ 2⁶²`: after
+/// the first iteration `r < s`, so every `× base` product stays ≤ 2⁶² and
+/// every sum `r + m⁺` stays ≤ 2⁶³; `2·r` in the tie comparison is bounded
+/// the same way.
+fn generate_u64(
+    state: &mut InitialState,
+    base: u64,
+    inc: Inclusivity,
+    tie: TieBreak,
+    digits: &mut Vec<u8>,
+) -> bool {
+    const CAP: u64 = 1 << 62;
+    let (Some(mut r), Some(s), Some(mut mp), Some(mut mm)) = (
+        single_limb(&state.r),
+        single_limb(&state.s),
+        single_limb(&state.m_plus),
+        single_limb(&state.m_minus),
+    ) else {
+        return false;
+    };
+    if s == 0 || s > CAP / base || r > CAP || mp > CAP || mm > CAP {
+        return false;
+    }
+    let start = digits.len();
+    let term = loop {
+        let q = r / s;
+        let d = q as u8;
+        r %= s;
+        debug_assert!(q < base, "digit out of range");
+        if fpp_telemetry::ENABLED && digits.len() == start && q >= base {
+            fpp_telemetry::record_scale_violation();
+        }
+        let tc1 = if inc.low_ok { r <= mm } else { r < mm };
+        let sum = r + mp;
+        let tc2 = if inc.high_ok { sum >= s } else { sum > s };
+        match (tc1, tc2) {
+            (false, false) => {
+                digits.push(d);
+                r *= base;
+                mp *= base;
+                mm *= base;
+            }
+            (true, false) => {
+                digits.push(d);
+                r = sum; // r ← r + m⁺
+                break fpp_telemetry::Termination::Low;
+            }
+            (false, true) => {
+                digits.push(d + 1);
+                debug_assert!(((d + 1) as u64) < base, "increment carried (Theorem 1)");
+                r = sum - s; // r ← r + m⁺ − s
+                break fpp_telemetry::Termination::High;
+            }
+            (true, true) => {
+                let round_up = match (2 * r).cmp(&s) {
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => tie.rounds_up(d),
+                };
+                if round_up {
+                    digits.push(d + 1);
+                    debug_assert!(((d + 1) as u64) < base, "increment carried (Theorem 1)");
+                    r = sum - s;
+                } else {
+                    digits.push(d);
+                    r = sum;
+                }
+                break fpp_telemetry::Termination::Tie {
+                    rounded_up: round_up,
+                };
+            }
+        }
+    };
+    state.r.assign_u64(r);
+    state.m_plus.assign_u64(mp);
+    state.m_minus.assign_u64(mm);
+    if fpp_telemetry::ENABLED {
+        fpp_telemetry::record_generation(digits.len() - start, term);
+        if digits[start] == 0 {
+            fpp_telemetry::record_scale_violation();
+        }
+    }
+    true
 }
 
 #[cfg(test)]

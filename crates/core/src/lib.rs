@@ -60,6 +60,7 @@
 
 mod ctx;
 mod exact;
+mod fastpath;
 pub mod figures;
 mod fixed;
 mod free;
@@ -243,6 +244,7 @@ pub struct FreeFormat {
     tie: TieBreak,
     notation: Notation,
     style: RenderOptions,
+    fast_path: bool,
 }
 
 impl Default for FreeFormat {
@@ -262,7 +264,19 @@ impl FreeFormat {
             tie: TieBreak::Up,
             notation: Notation::default(),
             style: RenderOptions::default(),
+            fast_path: true,
         }
+    }
+
+    /// Enables or disables the Grisu-style fixed-precision fast path
+    /// (enabled by default). The fast path only ever produces digits it can
+    /// prove identical to the exact engine's, so disabling it changes
+    /// nothing but speed — useful for benchmarking the exact engine and for
+    /// parity tests.
+    #[must_use]
+    pub fn fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
     }
 
     /// Sets cosmetic rendering options (exponent style, separators,
@@ -332,14 +346,42 @@ impl FreeFormat {
         })
     }
 
-    /// Writes the formatted value into `sink`, reusing `ctx`'s buffers —
-    /// byte-identical to [`FreeFormat::format_float`], without allocating
-    /// once the context is warm.
+    /// Whether this configuration can be answered by the fast path at all:
+    /// base 10, the paper's estimate scaler, and a nearest-family reader.
+    /// Directed modes reshape the rounding interval itself, so the Grisu
+    /// interval arithmetic does not apply to them.
+    fn fast_path_eligible(&self) -> bool {
+        self.fast_path
+            && self.base == 10
+            && self.strategy == ScalingStrategy::Estimate
+            && matches!(
+                self.rounding,
+                RoundingMode::NearestEven
+                    | RoundingMode::NearestAwayFromZero
+                    | RoundingMode::NearestTowardZero
+                    | RoundingMode::Conservative
+            )
+    }
+
+    /// Attempts the Grisu-style fixed-precision fast path: returns `true`
+    /// and writes the full formatted value (sign, digits, layout) when the
+    /// fast path *proves* its digits match the exact engine's, `false` with
+    /// `sink` untouched when the value must go through the exact engine.
+    /// Specials (`NaN`, infinities, zeros) are always written directly.
+    ///
+    /// [`FreeFormat::write_to`] already calls this internally; it is public
+    /// so bulk drivers can order their own pipelines (e.g. fast path before
+    /// a cache probe) and so benchmarks can measure acceptance directly.
     ///
     /// # Panics
     ///
     /// Panics if `ctx.base()` differs from this builder's base.
-    pub fn write_to<F: FloatFormat>(&self, ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: F) {
+    pub fn try_write_fast<F: FloatFormat>(
+        &self,
+        ctx: &mut DtoaContext,
+        sink: &mut impl DigitSink,
+        v: F,
+    ) -> bool {
         assert_eq!(
             ctx.base(),
             self.base,
@@ -348,9 +390,47 @@ impl FreeFormat {
         let decoded = v.decode();
         if let Some(s) = special_str(decoded) {
             sink.push_slice(s.as_bytes());
-            return;
+            return true;
+        }
+        if !self.fast_path_eligible() {
+            return false;
         }
         let (negative, mantissa, exponent) = decoded.finite_parts().expect("finite");
+        let narrow = mantissa == 1 << (F::PRECISION - 1) && exponent > F::MIN_EXP;
+        ctx.ws.digits.clear();
+        let Some(k) = fastpath::try_shortest_into(mantissa, exponent, narrow, &mut ctx.ws.digits)
+        else {
+            fpp_telemetry::record_fastpath(false);
+            return false;
+        };
+        fpp_telemetry::record_fastpath(true);
+        if negative {
+            sink.push(b'-');
+        }
+        render_into(
+            sink,
+            &ctx.ws.digits,
+            k,
+            self.notation,
+            self.base,
+            &self.style,
+        );
+        true
+    }
+
+    /// Writes the formatted value into `sink`, reusing `ctx`'s buffers —
+    /// byte-identical to [`FreeFormat::format_float`], without allocating
+    /// once the context is warm. Tries the fast path first (unless disabled
+    /// via [`FreeFormat::fast_path`]), then the exact engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.base()` differs from this builder's base.
+    pub fn write_to<F: FloatFormat>(&self, ctx: &mut DtoaContext, sink: &mut impl DigitSink, v: F) {
+        if self.try_write_fast(ctx, sink, v) {
+            return;
+        }
+        let (negative, mantissa, exponent) = v.decode().finite_parts().expect("finite");
         if negative {
             sink.push(b'-');
         }

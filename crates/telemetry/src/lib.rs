@@ -117,6 +117,12 @@ metric_enum! {
         /// Violations of the §3.2 contract observed by the digit loop
         /// (estimate off by more than one). Must stay 0.
         CoreScaleViolations => "core_scale_violations",
+        /// Conversions answered entirely by the Grisu-style fixed-precision
+        /// fast path (no big-integer work).
+        CoreFastPathHits => "core_fastpath_hits",
+        /// Fast-path attempts rejected as uncertain, falling back to the
+        /// exact Burger–Dybvig engine.
+        CoreFastPathFallbacks => "core_fastpath_fallbacks",
         /// Buffers handed out by the scratch arena.
         ScratchTakes => "scratch_takes",
         /// Buffers returned to the scratch arena.
@@ -132,6 +138,9 @@ metric_enum! {
         /// Memo inserts that overwrote a live entry of a different key
         /// (direct-mapped collision evictions).
         BatchMemoEvictions => "batch_memo_evictions",
+        /// Memo probes skipped by the adaptive guard while probing was
+        /// suspended for a persistently low observed hit rate.
+        BatchMemoSkipped => "batch_memo_skipped",
         /// Serial (single-context) batch conversions.
         BatchSerialBatches => "batch_serial_batches",
         /// Sharded batch conversions.
@@ -206,6 +215,10 @@ mod imp {
         gauges: [Cell<u64>; Gauge::COUNT],
         digit_len: [Cell<u64>; DIGIT_LEN_BUCKETS],
         shard_len: [Cell<u64>; SHARD_LEN_BUCKETS],
+        /// Pause depth for [`super::with_recording_paused`]: while nonzero,
+        /// this thread's records are dropped (warm-up traffic must not
+        /// masquerade as workload).
+        paused: Cell<u32>,
     }
 
     impl Local {
@@ -215,6 +228,7 @@ mod imp {
                 gauges: [const { Cell::new(0) }; Gauge::COUNT],
                 digit_len: [const { Cell::new(0) }; DIGIT_LEN_BUCKETS],
                 shard_len: [const { Cell::new(0) }; SHARD_LEN_BUCKETS],
+                paused: Cell::new(0),
             }
         }
 
@@ -245,9 +259,21 @@ mod imp {
     }
 
     /// Runs `f` against the thread's block; silently skipped during thread
-    /// teardown (the block has already drained).
+    /// teardown (the block has already drained) and while recording is
+    /// paused.
     fn with_local(f: impl FnOnce(&Local)) {
-        let _ = LOCAL.try_with(f);
+        let _ = LOCAL.try_with(|l| {
+            if l.paused.get() == 0 {
+                f(l);
+            }
+        });
+    }
+
+    pub(super) fn paused<R>(f: impl FnOnce() -> R) -> R {
+        let _ = LOCAL.try_with(|l| l.paused.set(l.paused.get() + 1));
+        let result = f();
+        let _ = LOCAL.try_with(|l| l.paused.set(l.paused.get().saturating_sub(1)));
+        result
     }
 
     pub(super) fn add(c: Counter, n: u64) {
@@ -341,6 +367,11 @@ mod imp {
     pub(super) static GLOBAL: Global = Global;
 
     #[inline(always)]
+    pub(super) fn paused<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    #[inline(always)]
     pub(super) fn add(_c: Counter, _n: u64) {}
 
     #[inline(always)]
@@ -414,6 +445,21 @@ pub fn record_scale_violation() {
     imp::add(Counter::CoreScaleViolations, 1);
 }
 
+/// Records one scalar fast-path attempt on a finite value: `hit` is true
+/// when the Grisu-style fast path produced the digits itself, false when it
+/// rejected the value as uncertain and the exact engine ran instead.
+#[inline(always)]
+pub fn record_fastpath(hit: bool) {
+    imp::add(
+        if hit {
+            Counter::CoreFastPathHits
+        } else {
+            Counter::CoreFastPathFallbacks
+        },
+        1,
+    );
+}
+
 /// Records a scratch-arena take; `recycled` is false when the pool was
 /// empty and a fresh buffer had to be created (the steady-state-allocation
 /// warning signal).
@@ -451,6 +497,13 @@ pub fn record_memo_lookup(hit: bool) {
 #[inline(always)]
 pub fn record_memo_eviction() {
     imp::add(Counter::BatchMemoEvictions, 1);
+}
+
+/// Records a memo probe skipped by the adaptive guard (probing suspended
+/// after a persistently low hit rate; neither a hit nor a miss).
+#[inline(always)]
+pub fn record_memo_skip() {
+    imp::add(Counter::BatchMemoSkipped, 1);
 }
 
 /// Records one serial batch conversion.
@@ -511,6 +564,20 @@ pub fn reset() {
     imp::reset();
 }
 
+/// Runs `f` with this thread's recording suspended: every `record_*` call
+/// made inside (at any depth — the suspension nests) is dropped instead of
+/// counted. Infrastructure traffic such as [`DtoaContext::warm_up`]'s
+/// priming conversions uses this so lazily-constructed contexts never
+/// contaminate live counters mid-measurement. Keep the region short and
+/// don't capture or reset inside it (both are thread-block operations and
+/// would be skipped too). No-op overhead when telemetry is disabled.
+///
+/// [`DtoaContext::warm_up`]: https://docs.rs/fpp-core
+#[inline(always)]
+pub fn with_recording_paused<R>(f: impl FnOnce() -> R) -> R {
+    imp::paused(f)
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot + exposition.
 // ---------------------------------------------------------------------------
@@ -567,6 +634,16 @@ impl TelemetrySnapshot {
         ratio(
             self.get(Counter::BatchMemoHits),
             self.get(Counter::BatchMemoHits) + self.get(Counter::BatchMemoMisses),
+        )
+    }
+
+    /// Fraction of scalar fast-path attempts the fast path answered itself
+    /// (0 when no attempts were recorded).
+    #[must_use]
+    pub fn fastpath_hit_rate(&self) -> f64 {
+        ratio(
+            self.get(Counter::CoreFastPathHits),
+            self.get(Counter::CoreFastPathHits) + self.get(Counter::CoreFastPathFallbacks),
         )
     }
 
@@ -838,7 +915,23 @@ mod tests {
             })
             .join()
             .expect("worker");
+            // Paused recording drops everything inside the region (nested
+            // pauses included) and resumes cleanly afterwards.
+            with_recording_paused(|| {
+                record_generation(9, Termination::Low);
+                with_recording_paused(|| record_memo_lookup(true));
+                record_memo_lookup(false);
+            });
+            record_fastpath(true);
+            record_fastpath(false);
             let snap = TelemetrySnapshot::capture();
+            assert_eq!(snap.get(Counter::CoreFastPathHits), 1);
+            assert_eq!(snap.get(Counter::CoreFastPathFallbacks), 1);
+            assert_eq!(
+                snap.get(Counter::BatchMemoMisses),
+                1,
+                "paused lookup dropped"
+            );
             assert_eq!(snap.get(Counter::CoreConversions), 3);
             assert_eq!(snap.get(Counter::CoreDigitsEmitted), 39);
             assert_eq!(snap.get(Counter::CoreTermLow), 1);

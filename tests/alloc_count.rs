@@ -11,6 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fpp::batch::{BatchFormatter, BatchOutput};
+use fpp::core::FreeFormat;
 use fpp::{write_fixed, write_shortest, DtoaContext, SliceSink};
 
 /// Counts every allocation and reallocation routed through the global
@@ -109,6 +110,35 @@ fn sink_conversions_are_allocation_free_after_warm_up() {
         after - before,
         0,
         "steady-state conversions must not allocate"
+    );
+
+    // Both routes through `FreeFormat` hold the same bar: the Grisu-style
+    // fast path (stack-only by construction) and the exact fallback
+    // (forced via `.fast_path(false)`), byte-identical to each other.
+    let fast = FreeFormat::new();
+    let exact = FreeFormat::new().fast_path(false);
+    let mut fast_buf = [0u8; 512];
+    for &v in CORPUS {
+        let mut sink = SliceSink::new(&mut buf);
+        fast.write_to(&mut ctx, &mut sink, v);
+        let mut sink = SliceSink::new(&mut buf);
+        exact.write_to(&mut ctx, &mut sink, v);
+    }
+    let before = allocations();
+    for &v in CORPUS {
+        let mut fsink = SliceSink::new(&mut fast_buf);
+        fast.write_to(&mut ctx, &mut fsink, v);
+        let flen = fsink.written();
+        let mut esink = SliceSink::new(&mut buf);
+        exact.write_to(&mut ctx, &mut esink, v);
+        let elen = esink.written();
+        assert_eq!(&fast_buf[..flen], &buf[..elen]);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed fast-path and exact-path conversions must not allocate"
     );
 
     // The batch engine inherits the guarantee: once a formatter and its

@@ -117,8 +117,11 @@ fn duplicate_heavy_columns_survive_forced_memo_collisions() {
     // eviction, every hit must still be exact.
     let pool: Vec<f64> = SchryerSet::new().iter().step_by(977).take(40).collect();
     let values: Vec<f64> = (0..20_000).map(|i| pool[(i * 7 + i / 13) % 40]).collect();
+    // Fast path off: this test pins memo mechanics, and with it on the
+    // accepted values would never reach the memo at all.
     let mut fmt = BatchFormatter::with_options(BatchOptions {
         memo_capacity: 16,
+        fast_path: false,
         ..BatchOptions::default()
     });
     let mut out = BatchOutput::new();

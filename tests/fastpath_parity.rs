@@ -1,0 +1,286 @@
+//! Byte-for-byte parity of the Grisu-style fast path against the exact
+//! Burger–Dybvig engine.
+//!
+//! The fast path is *correct by rejection*: it only answers when its
+//! 64-bit error analysis proves the digits are both inside the rounding
+//! interval and uniquely closest, so a divergence from the exact engine on
+//! any input is a hard bug, not a tolerance question. These tests compare
+//! the default (fast-enabled) [`FreeFormat`] against `.fast_path(false)`
+//! over sampled, stratified, and (behind `--ignored`) exhaustive inputs.
+//!
+//! ```bash
+//! cargo test --release --test fastpath_parity
+//! cargo test --release --test fastpath_parity -- --ignored ten_million
+//! cargo test --release --test fastpath_parity -- --ignored exhaustive
+//! ```
+
+use fpp::core::FreeFormat;
+use fpp::float::RoundingMode;
+use fpp::testgen::prng::Xoshiro256pp;
+use fpp::testgen::{log_uniform_doubles, uniform_bit_doubles, SchryerSet};
+use fpp::{DtoaContext, SliceSink};
+
+/// Comfortably larger than any shortest-form rendering.
+const BUF: usize = 64;
+
+/// Renders `v` through both formatters and asserts byte equality,
+/// reporting the offending bit pattern on failure.
+fn check_f64(ctx: &mut DtoaContext, fast: &FreeFormat, exact: &FreeFormat, v: f64) {
+    let mut fbuf = [0u8; BUF];
+    let mut ebuf = [0u8; BUF];
+    let mut fsink = SliceSink::new(&mut fbuf);
+    fast.write_to(ctx, &mut fsink, v);
+    let flen = fsink.written();
+    let mut esink = SliceSink::new(&mut ebuf);
+    exact.write_to(ctx, &mut esink, v);
+    let elen = esink.written();
+    assert_eq!(
+        std::str::from_utf8(&fbuf[..flen]).unwrap(),
+        std::str::from_utf8(&ebuf[..elen]).unwrap(),
+        "fast/exact divergence on {v:?} (bits {:#018x})",
+        v.to_bits()
+    );
+}
+
+/// The f32 flavour of [`check_f64`].
+fn check_f32(ctx: &mut DtoaContext, fast: &FreeFormat, exact: &FreeFormat, v: f32) {
+    let mut fbuf = [0u8; BUF];
+    let mut ebuf = [0u8; BUF];
+    let mut fsink = SliceSink::new(&mut fbuf);
+    fast.write_to(ctx, &mut fsink, v);
+    let flen = fsink.written();
+    let mut esink = SliceSink::new(&mut ebuf);
+    exact.write_to(ctx, &mut esink, v);
+    let elen = esink.written();
+    assert_eq!(
+        std::str::from_utf8(&fbuf[..flen]).unwrap(),
+        std::str::from_utf8(&ebuf[..elen]).unwrap(),
+        "fast/exact divergence on {v:?} (bits {:#010x})",
+        v.to_bits()
+    );
+}
+
+/// A stratified f64 column concentrating on the fast path's danger zones:
+/// exact powers of two (narrow-gap boundaries), denormals, powers of ten
+/// (decimal endpoints like 1e23), neighbors of all of the above, and the
+/// format extremes.
+fn stratified_f64s() -> Vec<f64> {
+    let mut values = Vec::new();
+    for e in -1074..=1023i32 {
+        let v = 2f64.powi(e);
+        if v.is_finite() && v > 0.0 {
+            values.push(v);
+            values.push(f64::from_bits(v.to_bits() + 1));
+            if v.to_bits() > 1 {
+                values.push(f64::from_bits(v.to_bits() - 1));
+            }
+        }
+    }
+    for k in -308..=308i32 {
+        let v = format!("1e{k}").parse::<f64>().unwrap();
+        if v.is_finite() && v > 0.0 {
+            values.push(v);
+            values.push(f64::from_bits(v.to_bits() + 1));
+            values.push(f64::from_bits(v.to_bits() - 1));
+        }
+    }
+    // Denormals: the smallest ones and a deterministic scatter across the
+    // whole 2^52-wide band.
+    for bits in 1..=512u64 {
+        values.push(f64::from_bits(bits));
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDECADE);
+    for _ in 0..2_000 {
+        values.push(f64::from_bits(rng.range_inclusive(1, (1 << 52) - 1)));
+    }
+    values.extend_from_slice(&[
+        f64::MAX,
+        f64::MIN_POSITIVE,
+        5e-324,
+        1e23,
+        6.02214076e23,
+        123_456_789.123_456_79,
+        2.5,
+        9.97,
+    ]);
+    // Sign symmetry is structural (the digit pipeline sees |v|), but pin a
+    // negative slice anyway.
+    let negs: Vec<f64> = values.iter().take(64).map(|&v| -v).collect();
+    values.extend(negs);
+    values
+}
+
+#[test]
+fn sampled_f64_parity() {
+    let mut ctx = DtoaContext::new(10);
+    let fast = FreeFormat::new();
+    let exact = FreeFormat::new().fast_path(false);
+    for v in log_uniform_doubles(0xFA57).take(50_000) {
+        check_f64(&mut ctx, &fast, &exact, v);
+    }
+    for v in uniform_bit_doubles(0xFA58).take(10_000) {
+        check_f64(&mut ctx, &fast, &exact, v);
+    }
+    for v in SchryerSet::new().iter() {
+        check_f64(&mut ctx, &fast, &exact, v);
+    }
+}
+
+#[test]
+fn stratified_f64_parity() {
+    let mut ctx = DtoaContext::new(10);
+    let fast = FreeFormat::new();
+    let exact = FreeFormat::new().fast_path(false);
+    for v in stratified_f64s() {
+        check_f64(&mut ctx, &fast, &exact, v);
+    }
+}
+
+#[test]
+fn sampled_f32_parity() {
+    let mut ctx = DtoaContext::new(10);
+    let fast = FreeFormat::new();
+    let exact = FreeFormat::new().fast_path(false);
+    let mut rng = Xoshiro256pp::seed_from_u64(0xF32F32);
+    let mut checked = 0usize;
+    while checked < 50_000 {
+        let bits = (rng.next_u64() & 0x7FFF_FFFF) as u32;
+        let v = f32::from_bits(bits);
+        if !v.is_finite() {
+            continue;
+        }
+        check_f32(&mut ctx, &fast, &exact, v);
+        checked += 1;
+    }
+    // f32 boundary strata: powers of two and their neighbors.
+    for e in -149..=127i32 {
+        let v = 2f32.powi(e);
+        if v.is_finite() && v > 0.0 {
+            check_f32(&mut ctx, &fast, &exact, v);
+            check_f32(&mut ctx, &fast, &exact, f32::from_bits(v.to_bits() + 1));
+            if v.to_bits() > 1 {
+                check_f32(&mut ctx, &fast, &exact, f32::from_bits(v.to_bits() - 1));
+            }
+        }
+    }
+}
+
+/// The fast path only claims eligibility for the four nearest-family
+/// rounding modes; parity must hold under every one of them (the accepted
+/// digits are strictly inside the open interval, where all four agree).
+#[test]
+fn nearest_rounding_modes_parity() {
+    let modes = [
+        RoundingMode::NearestEven,
+        RoundingMode::NearestAwayFromZero,
+        RoundingMode::NearestTowardZero,
+        RoundingMode::Conservative,
+    ];
+    let mut ctx = DtoaContext::new(10);
+    for mode in modes {
+        let fast = FreeFormat::new().rounding(mode);
+        let exact = FreeFormat::new().rounding(mode).fast_path(false);
+        for v in log_uniform_doubles(0x40DE + mode as u64).take(8_000) {
+            check_f64(&mut ctx, &fast, &exact, v);
+        }
+        for v in stratified_f64s().into_iter().step_by(3) {
+            check_f64(&mut ctx, &fast, &exact, v);
+        }
+    }
+}
+
+/// Directed rounding modes reshape the interval, so the fast path must
+/// decline them entirely — and output still matches by construction
+/// because both formatters run the exact engine.
+#[test]
+fn directed_rounding_modes_never_use_fast_path() {
+    let mut ctx = DtoaContext::new(10);
+    let mut buf = [0u8; BUF];
+    for mode in [RoundingMode::TowardZero, RoundingMode::AwayFromZero] {
+        let fast = FreeFormat::new().rounding(mode);
+        let mut sink = SliceSink::new(&mut buf);
+        assert!(
+            !fast.try_write_fast(&mut ctx, &mut sink, 0.3f64),
+            "fast path must decline directed mode {mode:?}"
+        );
+    }
+}
+
+/// `1e23` sits exactly on a rounding boundary — the canonical case the
+/// uncertainty analysis must reject rather than guess.
+#[test]
+fn endpoint_values_are_rejected_not_guessed() {
+    let mut ctx = DtoaContext::new(10);
+    let fast = FreeFormat::new();
+    let exact = FreeFormat::new().fast_path(false);
+    let mut buf = [0u8; BUF];
+    let mut sink = SliceSink::new(&mut buf);
+    assert!(
+        !fast.try_write_fast(&mut ctx, &mut sink, 1e23f64),
+        "1e23 must fall back to the exact engine"
+    );
+    check_f64(&mut ctx, &fast, &exact, 1e23);
+    check_f64(&mut ctx, &fast, &exact, -1e23);
+    // Specials are answered directly (they never reach the digit loops).
+    let mut sink = SliceSink::new(&mut buf);
+    assert!(fast.try_write_fast(&mut ctx, &mut sink, f64::NAN));
+    let mut sink = SliceSink::new(&mut buf);
+    assert!(fast.try_write_fast(&mut ctx, &mut sink, f64::INFINITY));
+    let mut sink = SliceSink::new(&mut buf);
+    assert!(fast.try_write_fast(&mut ctx, &mut sink, -0.0f64));
+}
+
+/// Ten-million-sample f64 parity run (uniform + stratified). ~minutes in
+/// release mode; run explicitly with `-- --ignored ten_million`.
+#[test]
+#[ignore = "long-running; exercised by ci.sh in release mode"]
+fn f64_parity_ten_million_samples() {
+    let mut ctx = DtoaContext::new(10);
+    let fast = FreeFormat::new();
+    let exact = FreeFormat::new().fast_path(false);
+    let mut checked = 0u64;
+    for v in log_uniform_doubles(0x10_000_000).take(8_000_000) {
+        check_f64(&mut ctx, &fast, &exact, v);
+        checked += 1;
+    }
+    for v in uniform_bit_doubles(0x10_000_001).take(1_900_000) {
+        check_f64(&mut ctx, &fast, &exact, v);
+        checked += 1;
+    }
+    // Stratified remainder: cycle the danger-zone column to fill the quota.
+    let strata = stratified_f64s();
+    for v in strata.iter().cycle().take(100_000) {
+        check_f64(&mut ctx, &fast, &exact, *v);
+        checked += 1;
+    }
+    assert_eq!(checked, 10_000_000);
+}
+
+/// Every positive finite f32 — the sweep the paper's correctness claims
+/// are usually demonstrated with. Sign handling is orthogonal (the digit
+/// pipeline sees `|v|`; the sign is prepended afterwards), so sweeping the
+/// positive half covers the digit logic exhaustively.
+#[test]
+#[ignore = "exhaustive 2^31-ish sweep; run once per release via ci/by hand"]
+fn exhaustive_f32_parity_sweep() {
+    let mut ctx = DtoaContext::new(10);
+    let fast = FreeFormat::new();
+    let exact = FreeFormat::new().fast_path(false);
+    let mut fbuf = [0u8; BUF];
+    let mut ebuf = [0u8; BUF];
+    // 0x7F80_0000 is +inf; everything below and above 0 is positive finite.
+    for bits in 1u32..0x7F80_0000 {
+        let v = f32::from_bits(bits);
+        let mut fsink = SliceSink::new(&mut fbuf);
+        fast.write_to(&mut ctx, &mut fsink, v);
+        let flen = fsink.written();
+        let mut esink = SliceSink::new(&mut ebuf);
+        exact.write_to(&mut ctx, &mut esink, v);
+        let elen = esink.written();
+        assert_eq!(
+            &fbuf[..flen],
+            &ebuf[..elen],
+            "fast/exact divergence at f32 bits {bits:#010x} ({v:?})"
+        );
+    }
+}

@@ -71,14 +71,19 @@ fn live_counters_agree_with_offline_recount_and_memo_stats() {
 
     // Formatters warm up real conversions at construction — build them all
     // before resetting the counters.
+    // Passes 1 and 2 pin exact-engine counters, so they disable the fast
+    // path; a dedicated pass below pins the fast-path counters.
     let mut nocache = BatchFormatter::with_options(BatchOptions {
         memo_capacity: 0,
+        fast_path: false,
         ..BatchOptions::default()
     });
     let mut collide = BatchFormatter::with_options(BatchOptions {
         memo_capacity: 16,
+        fast_path: false,
         ..BatchOptions::default()
     });
+    let mut fastpath_fmt = BatchFormatter::new();
     let mut out = BatchOutput::new();
     let offline = offline_hist(&values);
 
@@ -133,6 +138,11 @@ fn live_counters_agree_with_offline_recount_and_memo_stats() {
         0,
         "a disabled memo must not record lookups"
     );
+    assert_eq!(
+        snap.get(Counter::CoreFastPathHits) + snap.get(Counter::CoreFastPathFallbacks),
+        0,
+        "a fast-path-disabled formatter must not record attempts"
+    );
 
     // Pass 2: a 16-slot memo under a 40-distinct-value collision workload —
     // registry counters must mirror the engine's own MemoStats, evictions
@@ -151,6 +161,33 @@ fn live_counters_agree_with_offline_recount_and_memo_stats() {
     assert!(
         (snap.memo_hit_rate() - stats.hit_rate()).abs() < 1e-12,
         "derived hit rates agree"
+    );
+
+    // Fast-path pass: the default formatter tries Grisu on every finite
+    // value; hits skip the memo entirely, fallbacks partition into memo
+    // hits and exact conversions.
+    telemetry::reset();
+    fastpath_fmt.format_f64s(&values, &mut out);
+    let snap = TelemetrySnapshot::capture();
+    assert_eq!(
+        snap.get(Counter::CoreFastPathHits) + snap.get(Counter::CoreFastPathFallbacks),
+        n as u64,
+        "every conversion records exactly one fast-path attempt"
+    );
+    assert!(
+        snap.get(Counter::CoreFastPathHits) >= (n as u64) * 9 / 10,
+        "log-uniform doubles should overwhelmingly take the fast path (got {} of {n})",
+        snap.get(Counter::CoreFastPathHits)
+    );
+    assert_eq!(
+        snap.get(Counter::CoreConversions),
+        snap.get(Counter::BatchMemoMisses),
+        "fallbacks partition into memo hits and exact conversions"
+    );
+    assert!(
+        (snap.fastpath_hit_rate() - snap.get(Counter::CoreFastPathHits) as f64 / n as f64).abs()
+            < 1e-12,
+        "derived fast-path hit rate agrees"
     );
 
     // Sharded pass: worker threads flush their blocks when the scope joins
@@ -192,12 +229,15 @@ fn live_counters_agree_with_offline_recount_and_memo_stats() {
     let prom = snap.to_prometheus();
     assert_prometheus_parses(&prom);
     assert!(prom.contains("# TYPE fpp_core_conversions counter"));
+    assert!(prom.contains("# TYPE fpp_core_fastpath_hits counter"));
     assert!(prom.contains("fpp_reader_reads 2"));
     assert!(prom.contains("fpp_core_digit_len_bucket{le=\"+Inf\"}"));
     let json = snap.to_json();
     for key in [
         "\"schema_version\"",
         "\"core_conversions\"",
+        "\"core_fastpath_hits\"",
+        "\"batch_memo_skipped\"",
         "\"batch_memo_evictions\"",
         "\"scratch_pool_hwm\"",
         "\"core_digit_len\"",
