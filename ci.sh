@@ -49,6 +49,26 @@ done
 grep -q '"parity_checked": true' BENCH_fastpath.json \
   || { echo "fast-path parity audit did not run"; exit 1; }
 
+echo "== reader: parse parity + round-trip batteries (release) =="
+# The Eisel–Lemire tiers against the exact big-integer oracle and std:
+# generated literals, adversarial halfway corpus, the sampled 10M-value
+# round trip, and the fast-grammar edge cases.
+cargo test --release -q --test reader_differential
+cargo test --release -q --test reader_adversarial
+cargo test --release -q --test reader_roundtrip
+cargo test --release -q --test reader_edgecases
+
+echo "== reader: round-trip bench smoke + BENCH_reader.json schema =="
+cargo run -p fpp-bench --release --bin roundtrip -- --quick
+for key in bench schema_version quick element_count workloads accept_rate \
+           exact_floats_per_sec fast_floats_per_sec speedup \
+           roundtrip_floats_per_sec roundtrip_ok summary parity_checked; do
+  grep -q "\"$key\"" BENCH_reader.json \
+    || { echo "BENCH_reader.json missing key: $key"; exit 1; }
+done
+grep -q '"roundtrip_ok": true' BENCH_reader.json \
+  || { echo "round-trip bit audit did not pass"; exit 1; }
+
 echo "== telemetry build + tests (--features telemetry) =="
 # The instrumented configuration is a separate feature unification: build it,
 # run the whole suite under it (including the exact-count tests/telemetry.rs

@@ -2,9 +2,12 @@
 //! hardware float (Clinger's AlgorithmM/AlgorithmR family).
 
 use crate::fast::fast_path;
+use crate::lemire::eisel_lemire;
 use crate::parse::Literal;
+use crate::scan::ScannedDecimal;
 use fpp_bignum::Nat;
 use fpp_float::{FloatFormat, RoundingMode};
+use fpp_telemetry::ReadPath;
 
 /// A finite literal in coefficient–exponent form: the value is
 /// `± digits × base^exponent`, with `truncated` recording that additional
@@ -39,41 +42,133 @@ pub fn decimal_to_float<F: FloatFormat>(lit: &Literal, base: u64, rounding: Roun
     if parts.digits.is_zero() && !parts.truncated {
         return F::encode(parts.negative, 0, 0);
     }
-    // Fast path: short exact base-10 literals under round-to-nearest-even,
-    // valid only when the target format is f64 (the arithmetic is f64).
-    if base == 10
-        && F::PRECISION == 53
-        && F::MIN_EXP == -1074
-        && !parts.truncated
-        && matches!(rounding, RoundingMode::NearestEven)
-    {
-        if let Ok(d) = u64::try_from(&parts.digits) {
-            if let Some(v) = fast_path(d, parts.exponent) {
-                fpp_telemetry::record_read(true);
-                return if parts.negative {
-                    encode_from_f64::<F>(v, true)
-                } else {
-                    encode_from_f64::<F>(v, false)
-                };
+    // Fast tiers: base-10 literals with a u64-sized coefficient under
+    // round-to-nearest-even, when the target is a hardware format. Clinger's
+    // one-operation path first (f64 only), then the Eisel–Lemire truncated
+    // product; its rejections fall through to the exact path below.
+    if base == 10 && !parts.truncated && matches!(rounding, RoundingMode::NearestEven) {
+        if F::PRECISION == 53 && F::MIN_EXP == -1074 {
+            if let Ok(d) = u64::try_from(&parts.digits) {
+                if let Some(v) = fast_path(d, parts.exponent) {
+                    fpp_telemetry::record_read(ReadPath::FastPath);
+                    return encode_from_f64::<F>(v, parts.negative);
+                }
+                if let Some(v) = eisel_lemire::<f64>(d, parts.exponent) {
+                    fpp_telemetry::record_read(ReadPath::EiselLemire);
+                    return encode_from_f64::<F>(v, parts.negative);
+                }
+            }
+        } else if F::PRECISION == 24 && F::MIN_EXP == -149 {
+            if let Ok(d) = u64::try_from(&parts.digits) {
+                if let Some(v) = eisel_lemire::<f32>(d, parts.exponent) {
+                    fpp_telemetry::record_read(ReadPath::EiselLemire);
+                    return encode_from_f32::<F>(v, parts.negative);
+                }
             }
         }
     }
-    fpp_telemetry::record_read(false);
+    fpp_telemetry::record_read(ReadPath::Exact);
     convert_exact::<F>(parts, base, rounding)
+}
+
+/// Converts a parsed literal through the exact big-integer path **only**,
+/// skipping every fast tier — the oracle the differential and round-trip
+/// suites (and the `roundtrip` bench's baseline) compare against. Output is
+/// bit-identical to [`decimal_to_float`] for every input, by construction:
+/// the fast tiers reject rather than approximate.
+#[must_use]
+pub fn decimal_to_float_exact<F: FloatFormat>(
+    lit: &Literal,
+    base: u64,
+    rounding: RoundingMode,
+) -> F {
+    let parts = match lit {
+        Literal::Nan => return F::nan(),
+        Literal::Infinity { negative } => return F::infinity(*negative),
+        Literal::Finite(parts) => parts,
+    };
+    if parts.digits.is_zero() && !parts.truncated {
+        return F::encode(parts.negative, 0, 0);
+    }
+    fpp_telemetry::record_read(ReadPath::Exact);
+    convert_exact::<F>(parts, base, rounding)
+}
+
+/// Converts a scanned base-10 literal through the fast tiers only, under
+/// round-to-nearest-even. `None` means no tier could certify the rounding
+/// (or `F` is not a hardware format) and the caller must take the general
+/// parse → exact route. Records reader telemetry on success.
+pub(crate) fn scanned_to_float<F: FloatFormat>(sc: &ScannedDecimal) -> Option<F> {
+    if F::PRECISION == 53 && F::MIN_EXP == -1074 {
+        let (v, path) = scanned_magnitude::<f64>(sc, true)?;
+        fpp_telemetry::record_read(path);
+        Some(encode_from_f64::<F>(v, sc.negative))
+    } else if F::PRECISION == 24 && F::MIN_EXP == -149 {
+        let (v, path) = scanned_magnitude::<f32>(sc, false)?;
+        fpp_telemetry::record_read(path);
+        Some(encode_from_f32::<F>(v, sc.negative))
+    } else {
+        None
+    }
+}
+
+/// The magnitude of a scanned literal via Clinger (`f64` only) or
+/// Eisel–Lemire, including the truncated-tail bracketing trick: a 19-digit
+/// prefix `w` with a dropped non-zero tail pins the true value inside
+/// `(w, w+1) × 10^q`, so when both endpoints round to the same float, every
+/// value between them does too (rounding is monotone) and that float is the
+/// answer. Disagreement — or any tier rejection — returns `None`.
+fn scanned_magnitude<F: crate::lemire::LemireFloat>(
+    sc: &ScannedDecimal,
+    try_clinger: bool,
+) -> Option<(F, ReadPath)> {
+    if sc.truncated {
+        let low = eisel_lemire::<F>(sc.mantissa, sc.exponent)?;
+        let high = eisel_lemire::<F>(sc.mantissa + 1, sc.exponent)?;
+        if low.to_bits_u64() != high.to_bits_u64() {
+            return None;
+        }
+        return Some((low, ReadPath::EiselLemire));
+    }
+    if try_clinger && F::PRECISION == 53 {
+        if let Some(v) = fast_path(sc.mantissa, sc.exponent) {
+            // `F` is f64 here (guarded above); re-encode through decode.
+            return Some((encode_from_f64::<F>(v, false), ReadPath::FastPath));
+        }
+    }
+    Some((
+        eisel_lemire::<F>(sc.mantissa, sc.exponent)?,
+        ReadPath::EiselLemire,
+    ))
 }
 
 /// Reuses an exactly computed `f64` when the target *is* `f64`; otherwise
 /// falls through to the exact path (the fast path is only enabled for `f64`
 /// via this check).
 fn encode_from_f64<F: FloatFormat>(v: f64, negative: bool) -> F {
-    // The fast path is only valid when F is f64 (53-bit significand).
+    // The fast tiers only run when F is f64 (53-bit significand).
     debug_assert!(F::PRECISION == 53);
     match v.decode() {
         fpp_float::Decoded::Finite {
             mantissa, exponent, ..
         } => F::encode(negative, mantissa, exponent),
         fpp_float::Decoded::Zero { .. } => F::encode(negative, 0, 0),
-        _ => unreachable!("fast path never overflows"),
+        // Eisel–Lemire reports certain overflow as infinity.
+        fpp_float::Decoded::Infinite { .. } => F::infinity(negative),
+        fpp_float::Decoded::Nan => unreachable!("fast tiers never produce NaN"),
+    }
+}
+
+/// `f32` counterpart of [`encode_from_f64`], for the `f32` fast tier.
+fn encode_from_f32<F: FloatFormat>(v: f32, negative: bool) -> F {
+    debug_assert!(F::PRECISION == 24);
+    match v.decode() {
+        fpp_float::Decoded::Finite {
+            mantissa, exponent, ..
+        } => F::encode(negative, mantissa, exponent),
+        fpp_float::Decoded::Zero { .. } => F::encode(negative, 0, 0),
+        fpp_float::Decoded::Infinite { .. } => F::infinity(negative),
+        fpp_float::Decoded::Nan => unreachable!("fast tiers never produce NaN"),
     }
 }
 

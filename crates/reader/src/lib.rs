@@ -29,13 +29,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod convert;
 mod fast;
+mod lemire;
 mod parse;
+mod scan;
 mod soft;
 
-pub use convert::{decimal_to_float, DecimalParts};
+pub use batch::{BatchParseError, BatchParseOptions, BatchParser};
+pub use convert::{decimal_to_float, decimal_to_float_exact, DecimalParts};
 pub use fast::fast_path;
+pub use lemire::{eisel_lemire_f32, eisel_lemire_f64};
 pub use parse::{parse_hex_literal, parse_literal, Literal, ParseFloatError};
 pub use soft::{read_soft, SoftFormat, SoftReadResult};
 
@@ -90,8 +95,69 @@ pub fn read_float<F: FloatFormat>(
     rounding: RoundingMode,
 ) -> Result<F, ParseFloatError> {
     assert!((2..=36).contains(&base), "input base must be in 2..=36");
+    // The common case — a plain base-10 literal under the IEEE default
+    // rounding — goes through the u64 scanner and the fast tiers (Clinger,
+    // Eisel–Lemire) without ever touching big-integer accumulation. Any
+    // rejection at any stage falls through to the general parse below; the
+    // scanner accepts a strict subset of `parse_literal`'s grammar, so no
+    // input changes between Ok and Err by taking this route.
+    if base == 10 && matches!(rounding, RoundingMode::NearestEven) {
+        if let Some(sc) = scan::scan_decimal(s) {
+            if let Some(v) = convert::scanned_to_float::<F>(&sc) {
+                return Ok(v);
+            }
+        }
+    }
     let literal = parse_literal(s, base)?;
     Ok(decimal_to_float::<F>(&literal, base, rounding))
+}
+
+/// Reads an `f64` through the fast tiers **only** (scan → Clinger →
+/// Eisel–Lemire), never allocating and never running big-integer
+/// arithmetic. Returns `None` when the literal is outside the fast grammar
+/// or no tier can certify the rounding — exactly the cases
+/// [`read_f64`] hands to the exact fallback. Intended for acceptance-rate
+/// audits and benches; `Some` results are bit-identical to [`read_f64`].
+#[must_use]
+pub fn read_f64_fast(s: &str) -> Option<f64> {
+    convert::scanned_to_float::<f64>(&scan::scan_decimal(s)?)
+}
+
+/// `f32` counterpart of [`read_f64_fast`].
+#[must_use]
+pub fn read_f32_fast(s: &str) -> Option<f32> {
+    convert::scanned_to_float::<f32>(&scan::scan_decimal(s)?)
+}
+
+/// Reads an `f64` through the exact big-integer path **only**, skipping
+/// every fast tier — the oracle the differential suites and the
+/// `roundtrip` bench baseline compare against. Bit-identical to
+/// [`read_f64`] on every input, by construction.
+///
+/// # Errors
+///
+/// Returns [`ParseFloatError`] on a malformed literal.
+pub fn read_f64_exact(s: &str) -> Result<f64, ParseFloatError> {
+    let literal = parse_literal(s, 10)?;
+    Ok(decimal_to_float_exact::<f64>(
+        &literal,
+        10,
+        RoundingMode::NearestEven,
+    ))
+}
+
+/// `f32` counterpart of [`read_f64_exact`].
+///
+/// # Errors
+///
+/// Returns [`ParseFloatError`] on a malformed literal.
+pub fn read_f32_exact(s: &str) -> Result<f32, ParseFloatError> {
+    let literal = parse_literal(s, 10)?;
+    Ok(decimal_to_float_exact::<f32>(
+        &literal,
+        10,
+        RoundingMode::NearestEven,
+    ))
 }
 
 /// Reads a C99 hexadecimal float literal (`0x1.8p+1`) into any hardware

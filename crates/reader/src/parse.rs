@@ -29,7 +29,7 @@ pub struct ParseFloatError {
 }
 
 impl ParseFloatError {
-    fn new(reason: &'static str) -> Self {
+    pub(crate) fn new(reason: &'static str) -> Self {
         ParseFloatError { reason }
     }
 }

@@ -1,0 +1,207 @@
+//! A single-pass base-10 scanner feeding the fast conversion tiers.
+//!
+//! [`crate::parse_literal`] accumulates the coefficient into a [`fpp_bignum::Nat`]
+//! because it serves every base and arbitrarily long literals. The fast
+//! tiers (Clinger, Eisel–Lemire) only ever consume a `u64` coefficient, so
+//! routing their common case through big-integer accumulation would throw
+//! away most of the speedup. This scanner walks the byte string once,
+//! keeping at most 19 significant digits in a `u64` (19 digits is the
+//! largest count that can never overflow: `10^19 − 1 < 2^64`) and tracking
+//! whether — and how — the tail was dropped.
+//!
+//! It recognizes exactly the plain finite base-10 grammar of
+//! [`crate::parse_literal`] (optional sign, digits with one optional point,
+//! optional `e`/`E` exponent; empty integer or fraction parts allowed, but
+//! not both). Anything else — `inf`/`NaN` words, `#` sticky markers, `@`
+//! exponents, malformed input — returns `None`, deferring to the general
+//! parser, which owns error reporting. The scanner therefore never turns a
+//! valid literal into an error or vice versa.
+
+/// Cap on the scanned exponent magnitude, mirroring `parse_exponent`'s
+/// clamp: large enough that any value beyond it is a certain overflow or
+/// underflow, small enough that digit-count adjustments cannot overflow.
+const EXPONENT_CLAMP: i64 = i64::MAX / 4;
+
+/// A finite base-10 literal reduced to `± mantissa × 10^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ScannedDecimal {
+    /// Sign of the literal.
+    pub negative: bool,
+    /// Up to 19 leading significant digits.
+    pub mantissa: u64,
+    /// Power of ten scaling `mantissa` (decimal point and dropped integer
+    /// digits folded in).
+    pub exponent: i64,
+    /// Whether a **non-zero** digit beyond the 19 retained ones was
+    /// dropped: the true value then lies strictly inside
+    /// `(mantissa, mantissa + 1) × 10^exponent`.
+    pub truncated: bool,
+}
+
+/// Scans a plain finite decimal literal. Returns `None` for anything the
+/// fast grammar does not cover (the caller re-parses generally).
+pub(crate) fn scan_decimal(s: &str) -> Option<ScannedDecimal> {
+    let bytes = s.as_bytes();
+    let (negative, mut i) = match bytes.first()? {
+        b'+' => (false, 1),
+        b'-' => (true, 1),
+        _ => (false, 0),
+    };
+    let mut mantissa: u64 = 0;
+    let mut kept: u32 = 0;
+    let mut exponent: i64 = 0;
+    let mut any_digits = false;
+    let mut seen_point = false;
+    let mut truncated = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            c @ b'0'..=b'9' => {
+                let d = u64::from(c - b'0');
+                any_digits = true;
+                if mantissa == 0 && d == 0 {
+                    // Leading zeros are free: they never consume one of the
+                    // 19 kept slots, only move the scale when fractional.
+                    if seen_point {
+                        exponent -= 1;
+                    }
+                } else if kept < 19 {
+                    mantissa = mantissa * 10 + d;
+                    kept += 1;
+                    if seen_point {
+                        exponent -= 1;
+                    }
+                } else {
+                    // Beyond the u64-safe window: drop the digit, keep the
+                    // scale right, remember whether the tail was non-zero.
+                    if d != 0 {
+                        truncated = true;
+                    }
+                    if !seen_point {
+                        exponent += 1;
+                    }
+                }
+                i += 1;
+            }
+            b'.' if !seen_point => {
+                seen_point = true;
+                i += 1;
+            }
+            b'e' | b'E' if any_digits => {
+                i += 1;
+                let exp_negative = match bytes.get(i) {
+                    Some(b'+') => {
+                        i += 1;
+                        false
+                    }
+                    Some(b'-') => {
+                        i += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if i == bytes.len() {
+                    return None; // `1e` / `1e-`: malformed, let parse_literal report
+                }
+                let mut e: i64 = 0;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if !c.is_ascii_digit() {
+                        return None;
+                    }
+                    e = e
+                        .saturating_mul(10)
+                        .saturating_add(i64::from(c - b'0'))
+                        .min(EXPONENT_CLAMP);
+                    i += 1;
+                }
+                exponent += if exp_negative { -e } else { e };
+            }
+            _ => return None,
+        }
+    }
+    if !any_digits {
+        return None;
+    }
+    Some(ScannedDecimal {
+        negative,
+        mantissa,
+        exponent,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(s: &str) -> ScannedDecimal {
+        scan_decimal(s).expect(s)
+    }
+
+    #[test]
+    fn plain_forms() {
+        assert_eq!(
+            scan("123"),
+            ScannedDecimal {
+                negative: false,
+                mantissa: 123,
+                exponent: 0,
+                truncated: false
+            }
+        );
+        assert_eq!(scan("-0.25").mantissa, 25);
+        assert_eq!(scan("-0.25").exponent, -2);
+        assert!(scan("-0.25").negative);
+        assert_eq!(scan("1.e5").exponent, 5);
+        assert_eq!(scan(".5e-1"), scan("0.05"));
+        assert_eq!(scan("3.").mantissa, 3);
+        assert_eq!(scan("+6.02214076e23").exponent, 15);
+    }
+
+    #[test]
+    fn leading_zeros_do_not_consume_precision() {
+        // 0.000…0<19 digits>: all 19 significant digits must be kept.
+        let s = format!("0.{}1234567890123456789", "0".repeat(40));
+        let sc = scan(&s);
+        assert_eq!(sc.mantissa, 1234567890123456789);
+        assert_eq!(sc.exponent, -59);
+        assert!(!sc.truncated);
+    }
+
+    #[test]
+    fn tail_dropping_tracks_scale_and_stickiness() {
+        // 20 digits ending in zero: dropped digit is zero → not truncated,
+        // exponent compensates.
+        let sc = scan("12345678901234567890");
+        assert_eq!(sc.mantissa, 1234567890123456789);
+        assert_eq!(sc.exponent, 1);
+        assert!(!sc.truncated);
+        // Non-zero tail digit → truncated.
+        let sc = scan("12345678901234567891");
+        assert_eq!(sc.exponent, 1);
+        assert!(sc.truncated);
+        // Dropped fractional digits do not move the exponent.
+        let sc = scan("1.2345678901234567890123");
+        assert_eq!(sc.mantissa, 1234567890123456789);
+        assert_eq!(sc.exponent, -18);
+        assert!(sc.truncated);
+    }
+
+    #[test]
+    fn rejects_what_parse_literal_owns() {
+        for s in [
+            "", "+", "-", ".", "e5", "1e", "1e+", "inf", "NaN", "0x10", "1_000", "1.2.3", "5#",
+            "1@3", "--1", "1e5x",
+        ] {
+            assert_eq!(scan_decimal(s), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn huge_exponents_clamp_without_overflow() {
+        let sc = scan("1e99999999999999999999999");
+        assert!(sc.exponent >= EXPONENT_CLAMP);
+        let sc = scan("1e-99999999999999999999999");
+        assert!(sc.exponent <= -EXPONENT_CLAMP);
+    }
+}

@@ -153,10 +153,22 @@ metric_enum! {
         BatchStitchBytes => "batch_stitch_bytes",
         /// Finite literals converted by the reader.
         ReaderReads => "reader_reads",
-        /// Reads answered by the exact floating-point fast path.
+        /// Reads answered by Clinger's exact floating-point fast path
+        /// (one hardware multiply or divide).
         ReaderFastPathHits => "reader_fast_path_hits",
+        /// Reads answered by the Eisel–Lemire truncated-product path
+        /// (64×128-bit multiply against the cached power-of-five table).
+        ReaderEiselLemireHits => "reader_eisel_lemire_hits",
         /// Reads that fell back to the exact big-integer path.
         ReaderExactFallbacks => "reader_exact_fallbacks",
+        /// Serial (single-thread) bulk parse calls.
+        ReaderBatchSerial => "reader_batch_serial",
+        /// Sharded bulk parse calls.
+        ReaderBatchSharded => "reader_batch_sharded",
+        /// Shard runs across all sharded bulk parses.
+        ReaderBatchShards => "reader_batch_shards",
+        /// Strings parsed through the bulk engine (serial + sharded).
+        ReaderBatchValues => "reader_batch_values",
     }
 }
 
@@ -533,19 +545,46 @@ pub fn record_stitch_bytes(bytes: usize) {
     imp::add(Counter::BatchStitchBytes, bytes as u64);
 }
 
-/// Records one finite read; `fast_path` is true when the exact
-/// floating-point fast path answered without big-integer work.
+/// Which conversion tier answered one finite read (cheapest first — the
+/// reader tries them in this order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Clinger's fast path: one exact hardware multiply or divide.
+    FastPath,
+    /// The Eisel–Lemire truncated 64×128-bit product.
+    EiselLemire,
+    /// The exact big-integer fallback.
+    Exact,
+}
+
+/// Records one finite read and which tier answered it.
 #[inline(always)]
-pub fn record_read(fast_path: bool) {
+pub fn record_read(path: ReadPath) {
     imp::add(Counter::ReaderReads, 1);
     imp::add(
-        if fast_path {
-            Counter::ReaderFastPathHits
-        } else {
-            Counter::ReaderExactFallbacks
+        match path {
+            ReadPath::FastPath => Counter::ReaderFastPathHits,
+            ReadPath::EiselLemire => Counter::ReaderEiselLemireHits,
+            ReadPath::Exact => Counter::ReaderExactFallbacks,
         },
         1,
     );
+}
+
+/// Records one serial bulk parse of `values` strings.
+#[inline(always)]
+pub fn record_parse_batch(values: usize) {
+    imp::add(Counter::ReaderBatchSerial, 1);
+    imp::add(Counter::ReaderBatchValues, values as u64);
+}
+
+/// Records one sharded bulk parse: how many shards it used and the total
+/// string count.
+#[inline(always)]
+pub fn record_parse_batch_sharded(shards: usize, values: usize) {
+    imp::add(Counter::ReaderBatchSharded, 1);
+    imp::add(Counter::ReaderBatchShards, shards as u64);
+    imp::add(Counter::ReaderBatchValues, values as u64);
 }
 
 /// Drains the calling thread's private block into the global aggregate.
@@ -644,6 +683,16 @@ impl TelemetrySnapshot {
         ratio(
             self.get(Counter::CoreFastPathHits),
             self.get(Counter::CoreFastPathHits) + self.get(Counter::CoreFastPathFallbacks),
+        )
+    }
+
+    /// Fraction of finite reads answered without big-integer work (Clinger
+    /// or Eisel–Lemire; 0 when no reads were recorded).
+    #[must_use]
+    pub fn reader_fastpath_rate(&self) -> f64 {
+        ratio(
+            self.get(Counter::ReaderFastPathHits) + self.get(Counter::ReaderEiselLemireHits),
+            self.get(Counter::ReaderReads),
         )
     }
 
@@ -878,7 +927,9 @@ mod tests {
                 record_memo_lookup(true);
                 record_memo_eviction();
                 record_shard(4096);
-                record_read(true);
+                record_read(ReadPath::FastPath);
+                record_parse_batch(16);
+                record_parse_batch_sharded(4, 100_000);
             }
             flush_thread();
             assert_eq!(TelemetrySnapshot::capture(), TelemetrySnapshot::default());
@@ -909,7 +960,9 @@ mod tests {
                 record_memo_lookup(false);
                 record_memo_eviction();
                 record_shard(5000);
-                record_read(false);
+                record_read(ReadPath::Exact);
+                record_read(ReadPath::EiselLemire);
+                record_parse_batch_sharded(2, 5000);
                 record_scratch_put(2, 999);
                 // No explicit flush: thread exit drains the block.
             })
@@ -945,6 +998,12 @@ mod tests {
             assert_eq!(snap.get(Counter::BatchMemoHits), 1);
             assert_eq!(snap.get(Counter::BatchMemoEvictions), 1);
             assert_eq!(snap.get(Counter::ReaderExactFallbacks), 1);
+            assert_eq!(snap.get(Counter::ReaderEiselLemireHits), 1);
+            assert_eq!(snap.get(Counter::ReaderReads), 2);
+            assert_eq!(snap.get(Counter::ReaderBatchSharded), 1);
+            assert_eq!(snap.get(Counter::ReaderBatchShards), 2);
+            assert_eq!(snap.get(Counter::ReaderBatchValues), 5000);
+            assert!((snap.reader_fastpath_rate() - 0.5).abs() < 1e-12);
             assert_eq!(snap.gauge(Gauge::ScratchLimbsHwm), 999);
             assert_eq!(snap.gauge(Gauge::ScratchPoolHwm), 3);
             assert_eq!(snap.digit_len[5], 1);

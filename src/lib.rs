@@ -102,3 +102,4 @@ pub use fpp_core::{
     print_shortest, print_shortest_base, write_fixed, write_shortest, write_shortest_f32,
     DigitSink, DtoaContext, FixedFormat, FmtSink, FreeFormat, IoSink, SliceSink,
 };
+pub use fpp_reader::{read_f64, read_f64_fast, BatchParseOptions, BatchParser};

@@ -2,7 +2,7 @@
 //! corners of the grammar.
 
 use fpp::float::RoundingMode;
-use fpp::reader::{read_f64, read_float, read_hex};
+use fpp::reader::{read_f64, read_f64_exact, read_f64_fast, read_float, read_hex};
 
 #[test]
 fn leading_zeros_and_redundant_forms() {
@@ -93,6 +93,82 @@ fn hex_float_edges() {
     assert_eq!(read_hex::<f64>("0x1p-99999").unwrap(), 0.0);
     for bad in ["0x", "0xp1", "0x1", "0x1.8", "0x1.8q1", "1.8p1"] {
         assert!(read_hex::<f64>(bad).is_err(), "{bad:?}");
+    }
+}
+
+#[test]
+fn fast_tiers_preserve_negative_zero() {
+    // The fast scanner handles the sign itself; every zero spelling it
+    // accepts must carry the sign bit through, matching the general parser.
+    for s in ["-0", "-0.0", "-0e99", "-0.000e-99", "-0.0e5", "-.0"] {
+        let fast = read_f64_fast(s).unwrap_or_else(|| panic!("{s:?} is fast-grammar"));
+        assert_eq!(fast.to_bits(), (-0.0f64).to_bits(), "{s}");
+        assert_eq!(read_f64(s).unwrap().to_bits(), fast.to_bits(), "{s}");
+    }
+    for s in ["0", "+0.0", "0e-99", ".0"] {
+        let fast = read_f64_fast(s).unwrap_or_else(|| panic!("{s:?} is fast-grammar"));
+        assert_eq!(fast.to_bits(), 0.0f64.to_bits(), "{s}");
+    }
+}
+
+#[test]
+fn empty_fraction_and_empty_integer_forms_take_the_fast_path() {
+    // `1.e5`-style literals (digits, point, nothing, exponent) and their
+    // `.5`-style duals are legal in the general grammar; the fast scanner
+    // must agree on both acceptance and value.
+    for (s, expect) in [
+        ("1.e5", 1e5),
+        ("3.", 3.0),
+        (".5", 0.5),
+        (".5e-1", 0.05),
+        ("-2.e-3", -0.002),
+        ("+.25e2", 25.0),
+        ("12.E+2", 1200.0),
+    ] {
+        assert_eq!(read_f64(s).unwrap(), expect, "{s}");
+        assert_eq!(
+            read_f64_fast(s).unwrap_or_else(|| panic!("{s:?} is fast-grammar")),
+            expect,
+            "{s}"
+        );
+    }
+    // A bare point has no digits anywhere: both layers must reject.
+    assert!(read_f64(".").is_err());
+    assert!(read_f64_fast(".").is_none());
+    assert!(read_f64_fast(".e5").is_none());
+}
+
+#[test]
+fn u64_overflowing_coefficients_agree_with_exact_reader() {
+    // Coefficients past 2^64 overflow the scanner's 19-digit window; the
+    // truncated-tail bracket (or the exact fallback) must still round
+    // correctly. 2^64 itself is exactly representable as a double.
+    let s = "18446744073709551616"; // 2^64
+    assert_eq!(read_f64(s).unwrap(), 18446744073709551616.0);
+    assert_eq!(read_f64(s).unwrap(), read_f64_exact(s).unwrap());
+    // 2^64 ± 1 round to the same double (spacing is 4096 here).
+    assert_eq!(
+        read_f64("18446744073709551615").unwrap(),
+        18446744073709551616.0
+    );
+    assert_eq!(
+        read_f64("18446744073709551617").unwrap(),
+        18446744073709551616.0
+    );
+    // A 40-digit integer and its negation.
+    for s in [
+        "1234567890123456789012345678901234567890",
+        "-1234567890123456789012345678901234567890",
+        "9999999999999999999999999999999999999999",
+    ] {
+        let tiered = read_f64(s).unwrap();
+        let exact = read_f64_exact(s).unwrap();
+        let std_v: f64 = s.parse().unwrap();
+        assert_eq!(tiered.to_bits(), exact.to_bits(), "{s}");
+        assert_eq!(tiered.to_bits(), std_v.to_bits(), "{s}");
+        if let Some(fast) = read_f64_fast(s) {
+            assert_eq!(fast.to_bits(), std_v.to_bits(), "{s}");
+        }
     }
 }
 

@@ -1,0 +1,127 @@
+//! Print→parse round-trip battery for the Eisel–Lemire fast tiers: the
+//! shortest printer's output must read back bit-identically through every
+//! reader tier, and the fast tiers must accept essentially all of it.
+//!
+//! The default suite samples millions of doubles (hundreds of thousands
+//! under debug builds); the exhaustive positive-finite `f32` sweep — all
+//! 2^31 − 2^24 + 1 encodings — is `#[ignore]`d and run explicitly:
+//!
+//! ```bash
+//! cargo test --release --test reader_roundtrip -- --ignored
+//! ```
+
+use fpp::core::{write_shortest, write_shortest_f32, DtoaContext, SliceSink};
+use fpp::reader::{read_f32, read_f32_fast, read_f64, read_f64_exact, read_f64_fast};
+use fpp::testgen::{log_uniform_doubles, special_values, uniform_bit_doubles};
+
+/// Sampled f64 sweep: shortest-printed text must round-trip bit-identically
+/// through the tiered reader, the fast tiers alone, and the exact-only
+/// reader — and the fast tiers must accept ≥ 99% of printed output.
+#[test]
+fn sampled_f64_shortest_output_round_trips_through_every_tier() {
+    let n: usize = if cfg!(debug_assertions) {
+        300_000
+    } else {
+        10_000_000
+    };
+    let values = uniform_bit_doubles(0x5EED_F00D)
+        .filter(|v| v.is_finite())
+        .take(n / 2)
+        .chain(log_uniform_doubles(0xD1FF_0001).take(n / 2));
+
+    let mut ctx = DtoaContext::new(10);
+    let mut buf = [0u8; 32];
+    let mut total: u64 = 0;
+    let mut accepted: u64 = 0;
+    // The exact reader re-derives every value from big-integer scratch, so
+    // auditing it on the full sample would dominate the suite's runtime;
+    // a fixed stride keeps it honest at ~1% of the cost.
+    const EXACT_STRIDE: u64 = 101;
+    for v in values {
+        let mut sink = SliceSink::new(&mut buf);
+        write_shortest(&mut ctx, &mut sink, v);
+        let s = sink.as_str();
+        total += 1;
+
+        let tiered = read_f64(s).expect("printed text parses");
+        assert_eq!(tiered.to_bits(), v.to_bits(), "tiered reader broke {s:?}");
+        if let Some(fast) = read_f64_fast(s) {
+            accepted += 1;
+            assert_eq!(fast.to_bits(), v.to_bits(), "fast tier broke {s:?}");
+        }
+        if total.is_multiple_of(EXACT_STRIDE) {
+            let exact = read_f64_exact(s).expect("printed text parses");
+            assert_eq!(exact.to_bits(), v.to_bits(), "exact reader broke {s:?}");
+        }
+    }
+    let rate = accepted as f64 / total as f64;
+    assert!(
+        rate >= 0.99,
+        "fast tiers accepted only {accepted}/{total} ({rate:.4}) of shortest-printed doubles"
+    );
+}
+
+/// Special values and the subnormal fringe, where the fast tiers hand off:
+/// every tier that answers must answer identically.
+#[test]
+fn boundary_f64_values_round_trip_through_every_tier() {
+    let mut pool: Vec<f64> = special_values()
+        .into_iter()
+        .filter(|v| v.is_finite())
+        .collect();
+    // Every subnormal-boundary neighborhood: the smallest subnormals, the
+    // subnormal/normal seam, and the overflow edge.
+    for bits in (0u64..64)
+        .chain((1u64 << 52) - 64..(1 << 52) + 64)
+        .chain(0x7FEF_FFFF_FFFF_FFC0..=0x7FEF_FFFF_FFFF_FFFF)
+    {
+        pool.push(f64::from_bits(bits));
+    }
+    let mut ctx = DtoaContext::new(10);
+    let mut buf = [0u8; 32];
+    for v in pool {
+        for v in [v, -v] {
+            let mut sink = SliceSink::new(&mut buf);
+            write_shortest(&mut ctx, &mut sink, v);
+            let s = sink.as_str();
+            let tiered = read_f64(s).expect("printed text parses");
+            assert_eq!(tiered.to_bits(), v.to_bits(), "tiered reader broke {s:?}");
+            let exact = read_f64_exact(s).expect("printed text parses");
+            assert_eq!(exact.to_bits(), v.to_bits(), "exact reader broke {s:?}");
+            if let Some(fast) = read_f64_fast(s) {
+                assert_eq!(fast.to_bits(), v.to_bits(), "fast tier broke {s:?}");
+            }
+        }
+    }
+}
+
+/// Exhaustive positive-finite `f32` sweep (ignored by default: ~2 billion
+/// encodings). Prints every value shortest and parses it back through the
+/// tiered reader and, where it answers, the f32 fast tier.
+#[test]
+#[ignore = "exhaustive 2^31-point sweep; run explicitly with --ignored --release"]
+fn exhaustive_positive_f32_round_trips() {
+    let mut ctx = DtoaContext::new(10);
+    let mut buf = [0u8; 32];
+    let mut rejected: u64 = 0;
+    // 0x0000_0000 (=0.0) through 0x7F7F_FFFF (=f32::MAX), inclusive.
+    for bits in 0u32..=0x7F7F_FFFF {
+        let v = f32::from_bits(bits);
+        let mut sink = SliceSink::new(&mut buf);
+        write_shortest_f32(&mut ctx, &mut sink, v);
+        let s = sink.as_str();
+        let back = read_f32(s).expect("printed text parses");
+        assert_eq!(back.to_bits(), bits, "tiered reader broke {s:?}");
+        match read_f32_fast(s) {
+            Some(fast) => assert_eq!(fast.to_bits(), bits, "fast tier broke {s:?}"),
+            None => rejected += 1,
+        }
+    }
+    // The fast grammar covers every shortest-printed finite f32; rejections
+    // would mean the scanner or Eisel–Lemire tier regressed.
+    let total = u64::from(0x7F7F_FFFFu32) + 1;
+    assert!(
+        rejected <= total / 100,
+        "f32 fast tier rejected {rejected} of {total} shortest strings"
+    );
+}

@@ -215,22 +215,47 @@ fn live_counters_agree_with_offline_recount_and_memo_stats() {
         "shard histogram mass equals shard count"
     );
 
-    // Reader wiring: a short literal takes the fast path, a 20-significant-
-    // digit one falls back to exact big-integer conversion.
+    // Reader wiring: a short literal takes Clinger's fast path, a
+    // 20-significant-digit one is answered by Eisel–Lemire, and the exact
+    // 53-digit decimal expansion of 1 + 2^-53 (a tie whose tail extends
+    // past the 19-digit scan window, so the w/w+1 bracket straddles the
+    // halfway point) falls back to exact big-integer conversion.
     telemetry::reset();
     assert_eq!(fpp::reader::read_f64("0.5").unwrap(), 0.5);
     let _ = fpp::reader::read_f64("1.2345678901234567890e-300").unwrap();
+    let tie = "1.00000000000000011102230246251565404236316680908203125";
+    assert_eq!(fpp::reader::read_f64(tie).unwrap(), 1.0, "ties to even");
     let snap = TelemetrySnapshot::capture();
-    assert_eq!(snap.get(Counter::ReaderReads), 2);
+    assert_eq!(snap.get(Counter::ReaderReads), 3);
     assert_eq!(snap.get(Counter::ReaderFastPathHits), 1);
+    assert_eq!(snap.get(Counter::ReaderEiselLemireHits), 1);
     assert_eq!(snap.get(Counter::ReaderExactFallbacks), 1);
+    assert!((snap.reader_fastpath_rate() - 2.0 / 3.0).abs() < 1e-12);
+
+    // Bulk-parse wiring: serial and sharded calls report batch counters.
+    telemetry::reset();
+    let parser = fpp::BatchParser::new();
+    let strings = ["0.1", "2.5", "3.25e4"];
+    parser.parse_f64s(&strings).expect("valid column");
+    let sharded_parser = fpp::BatchParser::with_options(fpp::BatchParseOptions {
+        threads: Some(3),
+        min_shard_len: 1,
+        fast_path: true,
+    });
+    sharded_parser.parse_f64s(&strings).expect("valid column");
+    let snap = TelemetrySnapshot::capture();
+    assert_eq!(snap.get(Counter::ReaderBatchSerial), 1);
+    assert_eq!(snap.get(Counter::ReaderBatchSharded), 1);
+    assert_eq!(snap.get(Counter::ReaderBatchShards), 3);
+    assert_eq!(snap.get(Counter::ReaderBatchValues), 6);
+    assert_eq!(snap.get(Counter::ReaderReads), 6, "per-shard reads flushed");
 
     // Exposition smoke: Prometheus lines parse, JSON carries the stable keys.
     let prom = snap.to_prometheus();
     assert_prometheus_parses(&prom);
     assert!(prom.contains("# TYPE fpp_core_conversions counter"));
     assert!(prom.contains("# TYPE fpp_core_fastpath_hits counter"));
-    assert!(prom.contains("fpp_reader_reads 2"));
+    assert!(prom.contains("fpp_reader_reads 6"));
     assert!(prom.contains("fpp_core_digit_len_bucket{le=\"+Inf\"}"));
     let json = snap.to_json();
     for key in [
